@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Benchmarks run the experiments at *paper scale* (each workload's full
+calibrated iteration count) and write the regenerated tables under
+``benchmarks/results/`` so they can be diffed against EXPERIMENTS.md.
+
+The harness memoises traces and measurements process-wide, so running
+the whole ``benchmarks/`` directory costs each simulation once.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.harness import Scale
+
+#: Paper-scale runs: profile-default iterations, a generous pipeline
+#: window, the full eight-benchmark suite.
+BENCH_SCALE = Scale(iterations=None, pipeline_instructions=120_000)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = pathlib.Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def save_result(results_dir, experiment_result):
+    """Persist one experiment's rendered tables."""
+    target = results_dir / f"{experiment_result.experiment_id}.txt"
+    target.write_text(experiment_result.to_text() + "\n")
+    return target

@@ -1,0 +1,81 @@
+"""Ablation: self-profiled vs cross-input static estimation.
+
+The paper reports the static estimator under *self-profiling* -- the
+same input trains and evaluates the hint bits -- and explicitly calls
+that "a best-case evaluation of this confidence method".  This ablation
+quantifies the optimism: train the hints on one input (the profile's
+default LCG/data seeds), evaluate on a *different* input to the same
+program structure (fresh seeds), and compare.
+"""
+
+from dataclasses import replace
+
+from conftest import BENCH_SCALE
+
+from repro.confidence import StaticEstimator, profile_site_accuracy
+from repro.engine import measure, trace_branches
+from repro.metrics import average_quadrants
+from repro.predictors import GsharePredictor
+from repro.workloads import generate_program, get_profile
+
+WORKLOADS = ("compress", "gcc", "go")
+
+
+def traces_for(workload):
+    profile = get_profile(workload)
+    train_program = generate_program(profile, iterations=BENCH_SCALE.iterations)
+    test_profile = replace(
+        profile,
+        lcg_seed=profile.lcg_seed ^ 0x5A5A5A5A,
+        data_seed=profile.data_seed + 9999,
+    )
+    test_program = generate_program(test_profile, iterations=BENCH_SCALE.iterations)
+    return trace_branches(train_program).trace, trace_branches(test_program).trace
+
+
+def run_comparison():
+    self_profiled = []
+    cross_input = []
+    for workload in WORKLOADS:
+        train_trace, test_trace = traces_for(workload)
+        counts = profile_site_accuracy(train_trace, GsharePredictor())
+        sites = frozenset(
+            pc
+            for pc, (correct, total) in counts.items()
+            if total and correct / total >= 0.90
+        )
+        estimator = StaticEstimator(sites, threshold=0.90)
+        self_profiled.append(
+            measure(train_trace, GsharePredictor(), {"s": estimator}).quadrants["s"]
+        )
+        cross_input.append(
+            measure(test_trace, GsharePredictor(), {"s": estimator}).quadrants["s"]
+        )
+    return average_quadrants(self_profiled), average_quadrants(cross_input)
+
+
+def test_ablation_static_training_input(benchmark, results_dir):
+    self_profiled, cross_input = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+    lines = [
+        "training       sens    spec    pvp     pvn",
+        f"self-profiled  {self_profiled.sens:6.1%} {self_profiled.spec:6.1%}"
+        f" {self_profiled.pvp:6.2%} {self_profiled.pvn:6.1%}",
+        f"cross-input    {cross_input.sens:6.1%} {cross_input.spec:6.1%}"
+        f" {cross_input.pvp:6.2%} {cross_input.pvn:6.1%}",
+    ]
+    (results_dir / "ablation_static_training.txt").write_text(
+        "\n".join(lines) + "\n"
+    )
+    # the hints must transfer: site *identity* (which sites are easy) is
+    # a structural property, so cross-input metrics stay in the same
+    # regime even though the exact outcome sequence changed ...
+    assert abs(cross_input.pvp - self_profiled.pvp) < 0.05
+    assert abs(cross_input.spec - self_profiled.spec) < 0.15
+    # ... while self-profiling keeps its (mild) best-case advantage on
+    # the PVP/SPEC front overall
+    assert (
+        self_profiled.pvp + self_profiled.spec
+        >= cross_input.pvp + cross_input.spec - 0.02
+    )

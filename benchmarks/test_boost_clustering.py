@@ -1,0 +1,30 @@
+"""Bench boost: mis-estimation clustering and PVN boosting (§4.2)."""
+
+import pytest
+from conftest import BENCH_SCALE, save_result
+
+from repro.harness import run_experiment
+
+
+def test_boost_clustering_and_bernoulli_model(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("boost", BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result(results_dir, result)
+
+    # mis-estimations cluster only mildly and the rate decays with
+    # distance (paper's 45% -> 41% -> 33% shape)
+    for label, curve in result.data["curves"].items():
+        head = curve.buckets[0].misprediction_rate
+        mid = curve.buckets[4].misprediction_rate
+        assert head > mid, label
+
+    # boosting: k=2 and k=3 raise the effective PVN, and the Bernoulli
+    # closed form 1-(1-pvn)^k tracks the measurement
+    boosting = result.data["boosting"]
+    for (label, k), (base, empirical, analytic) in boosting.items():
+        if k == 1:
+            assert empirical == pytest.approx(base, abs=1e-9)
+        else:
+            assert empirical > base, (label, k)
+            assert empirical == pytest.approx(analytic, abs=0.08), (label, k)

@@ -1,0 +1,20 @@
+"""Bench fig1: regenerate Figure 1's parametric PVP/PVN curves."""
+
+from conftest import BENCH_SCALE, save_result
+
+from repro.harness import run_experiment
+
+
+def test_fig1_parametric(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig1", BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result(results_dir, result)
+    curves = result.data["curves"]
+    assert len(curves) == 5
+    # the right-most curve of the paper's figure: spec=99%, p=90%;
+    # sweeping sens drives PVP toward ~1 while PVN climbs
+    rightmost = curves[2]
+    __, pvp_hi, pvn_hi = rightmost.points[-2]
+    assert pvp_hi > 0.98
+    assert pvn_hi > 0.8

@@ -1,0 +1,33 @@
+"""Bench fig4: JRS design space (table sizes x thresholds) on gshare."""
+
+import pytest
+from conftest import BENCH_SCALE, save_result
+
+from repro.harness import run_experiment
+
+
+def test_fig4_jrs_design_space_gshare(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig4", BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result(results_dir, result)
+    lines = result.data["lines"]
+
+    # higher thresholds: SENS falls, SPEC rises (monotone trade-off)
+    for size, line in lines.items():
+        sens = [point.quadrant.sens for point in line.points]
+        spec = [point.quadrant.spec for point in line.points]
+        assert sens == sorted(sens, reverse=True), size
+        assert spec == sorted(spec), size
+
+    # bigger MDC tables dominate smaller ones on PVP at saturation
+    assert (
+        lines[4096].point(15).quadrant.pvp
+        >= lines[64].point(15).quadrant.pvp - 0.01
+    )
+
+    # threshold 16 is unreachable: all LC, PVN == misprediction rate
+    for line in lines.values():
+        top = line.point(16).quadrant
+        assert top.high_confidence == 0
+        assert top.pvn == pytest.approx(top.misprediction_rate, abs=1e-9)

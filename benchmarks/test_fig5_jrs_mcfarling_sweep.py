@@ -1,0 +1,25 @@
+"""Bench fig5: JRS design space on the McFarling predictor."""
+
+from conftest import BENCH_SCALE, save_result
+
+from repro.harness import run_experiment
+
+
+def test_fig5_jrs_design_space_mcfarling(benchmark, results_dir):
+    fig5 = benchmark.pedantic(
+        lambda: run_experiment("fig5", BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result(results_dir, fig5)
+    fig4 = run_experiment("fig4", BENCH_SCALE)  # memoised inputs
+
+    # same monotone trade-off trends as on gshare
+    for size, line in fig5.data["lines"].items():
+        sens = [point.quadrant.sens for point in line.points]
+        assert sens == sorted(sens, reverse=True), size
+
+    # "the trends are similar ... but the overall PVN is lower":
+    # the McFarling predictor leaves fewer mispredictions to find
+    for threshold in (8, 12, 15):
+        gshare_pvn = fig4.data["lines"][4096].point(threshold).quadrant.pvn
+        mcfarling_pvn = fig5.data["lines"][4096].point(threshold).quadrant.pvn
+        assert mcfarling_pvn < gshare_pvn, threshold

@@ -1,0 +1,32 @@
+"""Bench fig6: precise misprediction distance, gshare (Figure 6)."""
+
+from conftest import BENCH_SCALE, save_result
+
+from repro.harness import run_experiment
+
+
+def test_fig6_precise_distance_gshare(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig6", BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result(results_dir, result)
+    curve_all = result.data["all"]
+    curve_committed = result.data["committed"]
+
+    # clustering: branches right after a misprediction mispredict far
+    # more often than the average line
+    assert curve_all.clustering_ratio > 1.5
+    assert curve_committed.clustering_ratio > 1.3
+
+    # the curve decays toward (and below) the average at large distance
+    assert (
+        curve_all.buckets[0].misprediction_rate
+        > 2 * curve_all.buckets[-1].misprediction_rate
+    )
+
+    # the pipeline view (all branches) shows more near-distance trouble
+    # than a committed-only trace would
+    assert (
+        curve_all.buckets[0].misprediction_rate
+        >= curve_committed.buckets[0].misprediction_rate - 0.02
+    )

@@ -1,0 +1,23 @@
+"""Bench fig7: precise misprediction distance, McFarling (Figure 7)."""
+
+from conftest import BENCH_SCALE, save_result
+
+from repro.harness import run_experiment
+
+
+def test_fig7_precise_distance_mcfarling(benchmark, results_dir):
+    fig7 = benchmark.pedantic(
+        lambda: run_experiment("fig7", BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result(results_dir, fig7)
+    fig6 = run_experiment("fig6", BENCH_SCALE)  # memoised
+
+    curve = fig7.data["all"]
+    assert curve.clustering_ratio > 1.5
+    # McFarling's average misprediction rate sits below gshare's
+    assert curve.average_rate < fig6.data["all"].average_rate
+    # clustering survives the better predictor
+    assert (
+        curve.buckets[0].misprediction_rate
+        > 1.5 * curve.average_rate
+    )

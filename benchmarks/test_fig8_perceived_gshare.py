@@ -1,0 +1,27 @@
+"""Bench fig8: perceived misprediction distance, gshare (Figure 8)."""
+
+from conftest import BENCH_SCALE, save_result
+
+from repro.harness import run_experiment
+
+
+def test_fig8_perceived_distance_gshare(benchmark, results_dir):
+    fig8 = benchmark.pedantic(
+        lambda: run_experiment("fig8", BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result(results_dir, fig8)
+    fig6 = run_experiment("fig6", BENCH_SCALE)  # memoised
+
+    perceived = fig8.data["all"]
+    precise = fig6.data["all"]
+
+    # detection delay skews clustering toward larger distances: in the
+    # 1..4 band the perceived curve sits above the precise curve
+    def band_rate(curve, lo, hi):
+        branches = sum(bucket.branches for bucket in curve.buckets[lo:hi])
+        misses = sum(bucket.mispredictions for bucket in curve.buckets[lo:hi])
+        return misses / branches if branches else 0.0
+
+    assert band_rate(perceived, 1, 5) > band_rate(precise, 1, 5)
+    # clustering is still visible in the implementable signal
+    assert perceived.clustering_ratio > 1.3

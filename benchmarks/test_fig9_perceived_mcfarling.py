@@ -1,0 +1,31 @@
+"""Bench fig9: perceived misprediction distance, McFarling (Figure 9)."""
+
+from conftest import BENCH_SCALE, save_result
+
+from repro.harness import run_experiment
+
+
+def test_fig9_perceived_distance_mcfarling(benchmark, results_dir):
+    fig9 = benchmark.pedantic(
+        lambda: run_experiment("fig9", BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result(results_dir, fig9)
+    fig7 = run_experiment("fig7", BENCH_SCALE)  # memoised
+
+    perceived = fig9.data["all"]
+    precise = fig7.data["all"]
+
+    def band_rate(curve, lo, hi):
+        branches = sum(bucket.branches for bucket in curve.buckets[lo:hi])
+        misses = sum(bucket.mispredictions for bucket in curve.buckets[lo:hi])
+        return misses / branches if branches else 0.0
+
+    # the same skew as Figure 8, on the better predictor
+    assert band_rate(perceived, 1, 5) > band_rate(precise, 1, 5)
+    # paper: the committed distribution stays similar between the
+    # precise and perceived views
+    committed_perceived = fig9.data["committed"]
+    committed_precise = fig7.data["committed"]
+    assert abs(
+        committed_perceived.average_rate - committed_precise.average_rate
+    ) < 0.02

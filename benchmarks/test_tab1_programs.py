@@ -1,0 +1,30 @@
+"""Bench tab1: program characteristics (Table 1)."""
+
+from conftest import BENCH_SCALE, save_result
+
+from repro.harness import run_experiment
+from repro.harness.paper_values import FETCH_COMMIT_RATIO_RANGE
+
+
+def test_tab1_program_characteristics(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab1", BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result(results_dir, result)
+
+    ratios = result.data["ratios"]
+    low, high = FETCH_COMMIT_RATIO_RANGE
+    # paper: "typically issue 20-100% more instructions than commit";
+    # allow a little slack on both sides of the quoted band
+    for workload, ratio in ratios.items():
+        assert low - 0.1 <= ratio <= high + 0.5, (workload, ratio)
+
+    accuracies = result.data["accuracies"]
+    # predictability ordering of the suite (Table 1's shape)
+    gshare = {name: accs["gshare"] for name, accs in accuracies.items()}
+    assert gshare["go"] == min(gshare.values())
+    assert gshare["vortex"] == max(gshare.values())
+    # the three predictors land in a plausible band on every workload
+    for name, accs in accuracies.items():
+        for predictor, accuracy in accs.items():
+            assert 0.70 <= accuracy <= 0.995, (name, predictor, accuracy)

@@ -1,0 +1,42 @@
+"""Bench tab4: the misprediction-distance estimator (Table 4)."""
+
+from conftest import BENCH_SCALE, save_result
+
+from repro.harness import run_experiment
+
+
+def test_tab4_distance_estimator(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tab4", BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result(results_dir, result)
+    rows = result.data["rows"]
+
+    for predictor in ("gshare", "mcfarling"):
+        sens = [rows[("distance", predictor, t)].sens for t in range(1, 8)]
+        spec = [rows[("distance", predictor, t)].spec for t in range(1, 8)]
+        pvp = [rows[("distance", predictor, t)].pvp for t in range(1, 8)]
+        # paper Table 4 shape: raising the distance threshold trades
+        # SENS down for SPEC up, with PVP slowly improving
+        assert sens == sorted(sens, reverse=True), predictor
+        assert spec == sorted(spec), predictor
+        assert pvp[-1] >= pvp[0], predictor
+
+    # a single counter is competitive with the cheap estimators: at a
+    # mid threshold its PVN lands within a factor of the JRS PVN
+    jrs_pvn = rows[("jrs", "gshare", None)].pvn
+    distance_pvn = rows[("distance", "gshare", 3)].pvn
+    assert distance_pvn > 0.5 * jrs_pvn
+
+    # PVN degrades moving to the better predictor, as everywhere else
+    for threshold in (2, 4, 6):
+        assert (
+            rows[("distance", "mcfarling", threshold)].pvn
+            < rows[("distance", "gshare", threshold)].pvn
+        )
+
+    # the paper closes the table with the SAg pattern row being
+    # competitive (sens/spec both solid)
+    sag_pattern = rows[("pattern", "sag", None)]
+    assert sag_pattern.sens > 0.45
+    assert sag_pattern.spec > 0.5

@@ -1,0 +1,211 @@
+"""Misprediction-distance analysis (paper §4.1, Figures 6-9).
+
+Given the pipeline's per-branch records, build "misprediction rate vs.
+distance since the previous misprediction" curves -- the presentation
+the paper prefers over Heil & Smith's PDF plot.  If branch outcomes
+were independent the curve would be flat at the average misprediction
+rate; clustering shows up as elevated rates at small distances.
+
+Two distance definitions (both recorded by the pipeline):
+
+* **precise** -- branches since the last *actually mispredicted* branch
+  was fetched.  Only a simulator (or oracle) knows this at fetch time.
+* **perceived** -- branches since the last misprediction was *detected*
+  (resolved).  This is what real hardware can know, and it is skewed
+  toward larger distances by the resolution delay.
+
+Each curve can be computed over **all** fetched branches or only the
+**committed** ones (the trace view Heil & Smith used); the committed
+precise curve is recomputed from scratch over the committed sub-stream
+so that distances are counted in committed branches, exactly as a
+trace-based analysis would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..pipeline.records import BranchRecord
+
+
+@dataclass(frozen=True)
+class DistanceBucket:
+    """Aggregate at one distance (the last bucket absorbs the tail)."""
+
+    distance: int
+    branches: int
+    mispredictions: int
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+
+@dataclass(frozen=True)
+class DistanceCurve:
+    """Misprediction rate as a function of misprediction distance."""
+
+    label: str
+    buckets: Tuple[DistanceBucket, ...]
+    total_branches: int
+    total_mispredictions: int
+
+    @property
+    def average_rate(self) -> float:
+        """The flat line the curve would be without clustering."""
+        return (
+            self.total_mispredictions / self.total_branches
+            if self.total_branches
+            else 0.0
+        )
+
+    def rate_at(self, distance: int) -> float:
+        index = min(distance, len(self.buckets) - 1)
+        return self.buckets[index].misprediction_rate
+
+    @property
+    def clustering_ratio(self) -> float:
+        """rate(distance 0..1) / average rate; > 1 means clustered."""
+        near = [bucket for bucket in self.buckets[:2] if bucket.branches]
+        if not near or not self.average_rate:
+            return 0.0
+        branches = sum(bucket.branches for bucket in near)
+        misses = sum(bucket.mispredictions for bucket in near)
+        return (misses / branches) / self.average_rate if branches else 0.0
+
+
+def _curve_from_pairs(
+    pairs: Iterable[Tuple[int, bool]], label: str, max_distance: int
+) -> DistanceCurve:
+    branches = [0] * (max_distance + 1)
+    misses = [0] * (max_distance + 1)
+    total = 0
+    total_misses = 0
+    for distance, mispredicted in pairs:
+        bucket = min(distance, max_distance)
+        branches[bucket] += 1
+        total += 1
+        if mispredicted:
+            misses[bucket] += 1
+            total_misses += 1
+    buckets = tuple(
+        DistanceBucket(distance=d, branches=branches[d], mispredictions=misses[d])
+        for d in range(max_distance + 1)
+    )
+    return DistanceCurve(
+        label=label,
+        buckets=buckets,
+        total_branches=total,
+        total_mispredictions=total_misses,
+    )
+
+
+def precise_distance_curve(
+    records: Sequence[BranchRecord],
+    population: str = "all",
+    max_distance: int = 15,
+) -> DistanceCurve:
+    """Figures 6/7: precise distances, over all or committed branches."""
+    if population == "all":
+        pairs = (
+            (record.precise_distance, record.mispredicted) for record in records
+        )
+        return _curve_from_pairs(pairs, "precise/all", max_distance)
+    if population == "committed":
+        # recount distances within the committed sub-stream (trace view)
+        def committed_pairs():
+            distance = 0
+            for record in records:
+                if not record.committed:
+                    continue
+                yield distance, record.mispredicted
+                distance = 0 if record.mispredicted else distance + 1
+
+        return _curve_from_pairs(committed_pairs(), "precise/committed", max_distance)
+    raise ValueError("population must be 'all' or 'committed'")
+
+
+def perceived_distance_curve(
+    records: Sequence[BranchRecord],
+    population: str = "all",
+    max_distance: int = 15,
+) -> DistanceCurve:
+    """Figures 8/9: distances from the last *detected* misprediction."""
+    if population == "all":
+        selected: Iterable[BranchRecord] = records
+    elif population == "committed":
+        selected = (record for record in records if record.committed)
+    else:
+        raise ValueError("population must be 'all' or 'committed'")
+    pairs = ((record.perceived_distance, record.mispredicted) for record in selected)
+    return _curve_from_pairs(pairs, f"perceived/{population}", max_distance)
+
+
+def distance_pdf(curve: DistanceCurve) -> List[float]:
+    """Heil & Smith's presentation: P[distance = d] over mispredictions.
+
+    The probability distribution of the misprediction distance (how
+    many branches sit between consecutive mispredictions), computed
+    from the same bucket populations as the rate curve: a misprediction
+    recorded at distance d is exactly a gap of length d.
+    """
+    total = curve.total_mispredictions
+    if not total:
+        return [0.0] * len(curve.buckets)
+    return [bucket.mispredictions / total for bucket in curve.buckets]
+
+
+def geometric_reference_pdf(curve: DistanceCurve) -> List[float]:
+    """The PDF a *non-clustered* branch stream would show.
+
+    If branch outcomes were independent Bernoulli trials with the
+    curve's average misprediction rate p, the misprediction distance
+    would be geometric: P[d] = (1-p)^d * p (the paper's §4.1 remark).
+    The final bucket absorbs the tail mass so the reference sums to 1
+    over the same support as :func:`distance_pdf`.
+    """
+    p = curve.average_rate
+    depth = len(curve.buckets)
+    if not 0.0 < p <= 1.0 or depth == 0:
+        return [0.0] * depth
+    pdf = [((1.0 - p) ** d) * p for d in range(depth - 1)]
+    pdf.append(1.0 - sum(pdf))  # tail bucket
+    return pdf
+
+
+def clustering_divergence(curve: DistanceCurve) -> float:
+    """Total-variation distance between the measured distance PDF and
+    the geometric (independence) reference -- 0 means no clustering."""
+    measured = distance_pdf(curve)
+    reference = geometric_reference_pdf(curve)
+    return 0.5 * sum(abs(m - r) for m, r in zip(measured, reference))
+
+
+def render_curves(curves: Sequence[DistanceCurve], width: int = 8) -> str:
+    """Text rendering of several curves side by side (harness output)."""
+    if not curves:
+        return ""
+    lines: List[str] = []
+    header = "dist".ljust(6) + "".join(
+        curve.label.rjust(width + 12) for curve in curves
+    )
+    lines.append(header)
+    depth = max(len(curve.buckets) for curve in curves)
+    for distance in range(depth):
+        cells = []
+        for curve in curves:
+            if distance < len(curve.buckets):
+                bucket = curve.buckets[distance]
+                cells.append(
+                    f"{bucket.misprediction_rate:7.2%} (n={bucket.branches:6d})"
+                )
+            else:
+                cells.append("".rjust(width + 12))
+        tag = f">={distance}" if distance == depth - 1 else f"{distance}"
+        lines.append(tag.ljust(6) + "".join(cell.rjust(width + 12) for cell in cells))
+    lines.append(
+        "avg".ljust(6)
+        + "".join(f"{curve.average_rate:7.2%}".rjust(width + 12) for curve in curves)
+    )
+    return "\n".join(lines)

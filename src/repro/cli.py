@@ -1,0 +1,210 @@
+"""Command-line front end.
+
+Usage examples::
+
+    repro list                         # experiments and workloads
+    repro run tab2                     # one experiment, full scale
+    repro run-all --out report.txt     # the whole battery
+    repro workload gcc --iterations 50 # inspect a synthetic workload
+    repro trace gcc out.rbt.gz         # dump a branch trace file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .engine import trace_branches, workload_program, workload_run
+from .harness import EXPERIMENTS, FULL, Scale, render_report, run_all, run_experiment
+from .harness.plot import distance_chart, figure1_chart, sweep_chart
+from .workloads import SUITE, generate_source, get_profile
+
+
+def _scale_from_args(args: argparse.Namespace) -> Scale:
+    workloads = tuple(args.workloads.split(",")) if args.workloads else SUITE
+    return Scale(
+        iterations=args.iterations,
+        pipeline_instructions=args.pipeline_instructions,
+        workloads=workloads,
+    )
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="outer-loop iterations per workload (default: profile value)",
+    )
+    parser.add_argument(
+        "--pipeline-instructions",
+        type=int,
+        default=FULL.pipeline_instructions,
+        help="committed-instruction budget for pipeline experiments",
+    )
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload subset (default: full suite)",
+    )
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    print("experiments:")
+    for experiment_id, function in EXPERIMENTS.items():
+        doc = (function.__doc__ or "").strip().splitlines()[0]
+        print(f"  {experiment_id:6s} {doc}")
+    print("workloads:")
+    for name in SUITE:
+        profile = get_profile(name)
+        print(f"  {name:10s} {profile.description}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, _scale_from_args(args))
+    print(result.to_json() if args.json else result.to_text())
+    return 0
+
+
+def _command_run_all(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    only = args.only.split(",") if args.only else None
+    results = run_all(scale, only=only)
+    report = render_report(results, scale)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+PLOTTABLE = ("fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9")
+
+
+def _command_plot(args: argparse.Namespace) -> int:
+    """Render a figure experiment as ASCII charts."""
+    result = run_experiment(args.experiment, _scale_from_args(args))
+    experiment_id = args.experiment
+    if experiment_id == "fig1":
+        print(figure1_chart(result.data["curves"]))
+        return 0
+    if experiment_id == "fig3":
+        lines = {"enhanced": result.data["enhanced"], "original": result.data["original"]}
+        for metric in ("pvp", "pvn"):
+            print(sweep_chart(lines, f"Figure 3: {metric} vs threshold", metric))
+            print()
+        return 0
+    if experiment_id in ("fig4", "fig5"):
+        lines = {
+            f"{size} MDCs": line for size, line in result.data["lines"].items()
+        }
+        for metric in ("pvp", "pvn"):
+            print(sweep_chart(lines, f"{result.title}: {metric}", metric))
+            print()
+        return 0
+    # distance figures
+    print(
+        distance_chart(
+            {"all": result.data["all"], "committed": result.data["committed"]},
+            result.title,
+        )
+    )
+    return 0
+
+
+def _command_workload(args: argparse.Namespace) -> int:
+    profile = get_profile(args.name)
+    if args.source:
+        print(generate_source(profile, iterations=args.iterations))
+        return 0
+    program = workload_program(args.name, args.iterations)
+    run = workload_run(args.name, args.iterations)
+    print(f"workload {profile.name}: {profile.description}")
+    print(f"  static sites:     {len(profile.sites)}")
+    print(f"  code size:        {len(program)} instructions")
+    print(f"  dynamic instr:    {run.stats.instructions:,}")
+    print(f"  dynamic branches: {run.stats.branches:,}")
+    print(f"  branch fraction:  {run.stats.branch_fraction:.1%}")
+    print(f"  taken rate:       {run.trace.taken_rate:.1%}")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    program = workload_program(args.name, args.iterations)
+    traced = trace_branches(program)
+    traced.trace.save(args.output)
+    print(
+        f"wrote {len(traced.trace):,} branches"
+        f" ({traced.stats.instructions:,} instructions) to {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Confidence Estimation for Speculation Control (ISCA 1998)"
+        " -- reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list experiments and workloads")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    _add_scale_arguments(run_parser)
+
+    run_all_parser = subparsers.add_parser("run-all", help="run the whole battery")
+    run_all_parser.add_argument("--only", default=None, help="comma-separated ids")
+    run_all_parser.add_argument("--out", default=None, help="write report to a file")
+    _add_scale_arguments(run_all_parser)
+
+    plot_parser = subparsers.add_parser(
+        "plot", help="render a figure experiment as an ASCII chart"
+    )
+    plot_parser.add_argument("experiment", choices=PLOTTABLE)
+    _add_scale_arguments(plot_parser)
+
+    workload_parser = subparsers.add_parser(
+        "workload", help="inspect a synthetic workload"
+    )
+    workload_parser.add_argument("name", choices=SUITE)
+    workload_parser.add_argument("--iterations", type=int, default=None)
+    workload_parser.add_argument(
+        "--source", action="store_true", help="print the generated assembly"
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="write a workload's branch trace to a file"
+    )
+    trace_parser.add_argument("name", choices=SUITE)
+    trace_parser.add_argument("output")
+    trace_parser.add_argument("--iterations", type=int, default=None)
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _command_list,
+    "run": _command_run,
+    "run-all": _command_run_all,
+    "plot": _command_plot,
+    "workload": _command_workload,
+    "trace": _command_trace,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

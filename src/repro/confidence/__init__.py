@@ -1,0 +1,45 @@
+"""Confidence estimators: the paper's four families plus its two
+contributions (misprediction distance, boosting)."""
+
+from .base import Assessment, ConfidenceEstimator
+from .boosting import (
+    BoostedEstimator,
+    BoostingAccumulator,
+    BoostingResult,
+    boosted_pvn,
+)
+from .cir import CIREstimator, DistanceIndexedCIREstimator
+from .distance import MispredictionDistanceEstimator
+from .jrs import CombiningJRSEstimator, JRSEstimator
+from .pattern import PatternHistoryEstimator, lick_confident_patterns
+from .saturating import McFarlingVariant, SaturatingCountersEstimator
+from .static import (
+    StaticEstimator,
+    profile_confident_sites,
+    profile_site_accuracy,
+)
+from .tuning import TunedStatic, tune_for_pvn, tune_for_spec
+
+__all__ = [
+    "Assessment",
+    "ConfidenceEstimator",
+    "BoostedEstimator",
+    "BoostingAccumulator",
+    "BoostingResult",
+    "boosted_pvn",
+    "CIREstimator",
+    "DistanceIndexedCIREstimator",
+    "MispredictionDistanceEstimator",
+    "CombiningJRSEstimator",
+    "JRSEstimator",
+    "PatternHistoryEstimator",
+    "lick_confident_patterns",
+    "McFarlingVariant",
+    "SaturatingCountersEstimator",
+    "StaticEstimator",
+    "profile_confident_sites",
+    "profile_site_accuracy",
+    "TunedStatic",
+    "tune_for_pvn",
+    "tune_for_spec",
+]

@@ -1,0 +1,64 @@
+"""Confidence-estimator interface.
+
+An estimator sees each branch *at prediction time* -- together with the
+:class:`~repro.predictors.base.Prediction` record, which carries the
+predictor state the paper's inexpensive estimators tap (consulted
+counter values, the history register used, the predicted direction) --
+and tags it high or low confidence.  When the branch later resolves,
+:meth:`ConfidenceEstimator.resolve` lets stateful estimators (JRS's
+miss distance counters, the misprediction-distance counter) learn.
+
+As with predictors, squashed wrong-path branches are never resolved,
+so estimator tables only train on resolved branches, matching what a
+hardware implementation sees.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..predictors.base import Prediction
+
+
+class Assessment:
+    """One confidence estimate plus whatever the estimator must remember
+    (for the JRS estimator: the MDC index it read, which for the
+    *enhanced* variant depends on the predicted direction)."""
+
+    __slots__ = ("high_confidence", "token")
+
+    def __init__(self, high_confidence: bool, token: Optional[int] = None):
+        self.high_confidence = high_confidence
+        self.token = token
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        level = "HC" if self.high_confidence else "LC"
+        return f"Assessment({level}, token={self.token})"
+
+
+class ConfidenceEstimator(abc.ABC):
+    """Abstract confidence estimator (the paper's diagnostic test)."""
+
+    #: Short name used in tables and experiment output.
+    name: str = "estimator"
+
+    @abc.abstractmethod
+    def estimate(self, pc: int, prediction: Prediction) -> Assessment:
+        """Tag the prediction HC/LC (called at fetch, after predict)."""
+
+    def resolve(
+        self,
+        pc: int,
+        prediction: Prediction,
+        taken: bool,
+        assessment: Assessment,
+    ) -> None:
+        """Learn the branch outcome (called in order at resolution).
+
+        Stateless estimators (saturating counters, pattern, static)
+        keep the default no-op.
+        """
+
+    def reset(self) -> None:
+        """Restore power-on state (re-creating the object also works)."""

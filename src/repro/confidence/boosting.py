@@ -1,0 +1,149 @@
+"""Confidence boosting by composing consecutive estimates (paper §4.2).
+
+Because confidence *mis-estimations* are only slightly clustered, the
+paper approximates successive estimates as Bernoulli trials over the
+few branches resident in a pipeline.  Waiting for ``k`` consecutive
+low-confidence estimates then boosts the effective PVN:
+
+    PVN_k = 1 - (1 - PVN)^k
+
+(the probability that *at least one* of the k flagged branches is
+mispredicted).  Boosting describes the state of the *pipeline*, not of
+one branch: an SMT processor can treat two consecutive LC estimates as
+evidence the current thread's instructions will not commit and switch;
+an eager-execution core would have to fork at both branches.
+
+Two tools are provided:
+
+* :class:`BoostingAccumulator` measures the empirical boosted PVN of an
+  estimator over a measured run (to validate the Bernoulli model);
+* :class:`BoostedEstimator` wraps any estimator into one whose LC
+  signal fires only after ``k`` consecutive LC estimates (directly
+  usable by the speculation-control applications).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..predictors.base import Prediction
+from .base import Assessment, ConfidenceEstimator
+
+
+def boosted_pvn(pvn: float, k: int) -> float:
+    """Analytic boosted PVN for ``k`` composed low-confidence events."""
+    if not 0.0 <= pvn <= 1.0:
+        raise ValueError("pvn must be in [0, 1]")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return 1.0 - (1.0 - pvn) ** k
+
+
+@dataclass
+class BoostingResult:
+    """Empirical vs. analytic boosted PVN for one configuration."""
+
+    k: int
+    base_pvn: float
+    events: int
+    events_with_misprediction: int
+
+    @property
+    def empirical_pvn(self) -> float:
+        return (
+            self.events_with_misprediction / self.events if self.events else 0.0
+        )
+
+    @property
+    def analytic_pvn(self) -> float:
+        return boosted_pvn(self.base_pvn, self.k)
+
+
+class BoostingAccumulator:
+    """Streams (low_confidence, mispredicted) pairs; counts the boosted
+    events of every window size in ``ks`` in a single pass.
+
+    A boosted event of size k occurs at each branch ending a run of
+    >= k consecutive LC estimates; the event "hits" if any of the k
+    branches in the window was mispredicted.
+    """
+
+    def __init__(self, ks: List[int]):
+        if not ks or any(k < 1 for k in ks):
+            raise ValueError("ks must be non-empty positive window sizes")
+        self.ks = sorted(set(ks))
+        self._window_flags: List[bool] = []  # mispredicted? of current LC run
+        self._events = {k: 0 for k in self.ks}
+        self._hits = {k: 0 for k in self.ks}
+        self._lc_branches = 0
+        self._lc_mispredictions = 0
+
+    def observe(self, low_confidence: bool, mispredicted: bool) -> None:
+        if not low_confidence:
+            self._window_flags.clear()
+            return
+        self._lc_branches += 1
+        if mispredicted:
+            self._lc_mispredictions += 1
+        self._window_flags.append(mispredicted)
+        run = len(self._window_flags)
+        for k in self.ks:
+            if run >= k:
+                self._events[k] += 1
+                if any(self._window_flags[-k:]):
+                    self._hits[k] += 1
+
+    def results(self) -> List[BoostingResult]:
+        base_pvn = (
+            self._lc_mispredictions / self._lc_branches if self._lc_branches else 0.0
+        )
+        return [
+            BoostingResult(
+                k=k,
+                base_pvn=base_pvn,
+                events=self._events[k],
+                events_with_misprediction=self._hits[k],
+            )
+            for k in self.ks
+        ]
+
+
+@dataclass
+class BoostedEstimator(ConfidenceEstimator):
+    """LC only after ``k`` consecutive LC estimates from ``base``.
+
+    The wrapped estimator still sees every resolve, so its internal
+    state (e.g. JRS MDCs) trains exactly as when used alone.
+    """
+
+    base: ConfidenceEstimator
+    k: int = 2
+    _lc_run: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        self.name = f"boost{self.k}({self.base.name})"
+
+    def estimate(self, pc: int, prediction: Prediction) -> Assessment:
+        inner = self.base.estimate(pc, prediction)
+        if inner.high_confidence:
+            self._lc_run = 0
+        else:
+            self._lc_run += 1
+        boosted_low = self._lc_run >= self.k
+        return Assessment(high_confidence=not boosted_low, token=inner)
+
+    def resolve(
+        self,
+        pc: int,
+        prediction: Prediction,
+        taken: bool,
+        assessment: Assessment,
+    ) -> None:
+        self.base.resolve(pc, prediction, taken, assessment.token)
+
+    def reset(self) -> None:
+        self._lc_run = 0
+        self.base.reset()

@@ -1,0 +1,163 @@
+"""Correct/incorrect-register (CIR) estimators -- Jacobsen et al.'s
+original design and the §4.1 global-distance-indexed variant.
+
+Before proposing the resetting miss distance counter, Jacobsen,
+Rotenberg & Smith's estimator kept a table of n-bit *correct/incorrect
+registers*: shift registers recording, per table entry, whether the
+last n predictions mapping there were correct.  A *reduction function*
+turns the register into a confidence bit; the standard choice is ones
+counting -- high confidence when at most ``max_incorrect`` of the last
+``register_bits`` outcomes were wrong (``max_incorrect = 0`` is the
+"all correct" AND-reduction).
+
+The paper's §4.1 also mentions the related configuration where *a
+global MDC was used to index into a table of correct-incorrect
+registers* -- i.e. the estimator state is keyed by the current
+misprediction distance rather than by (PC, history).  The paper argues
+this "probably did not work well" because the index structure no
+longer matches the underlying predictor; it is implemented here
+(:class:`DistanceIndexedCIREstimator`) so that claim can be tested --
+and the ablation bench confirms it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..predictors.base import Prediction
+from .base import Assessment, ConfidenceEstimator
+
+
+def _popcount(value: int) -> int:
+    return bin(value).count("1")
+
+
+class CIREstimator(ConfidenceEstimator):
+    """JRS correct/incorrect shift-register estimator.
+
+    Each table entry is a ``register_bits``-wide shift register of
+    prediction outcomes (1 = correct).  A branch is high confidence
+    when the number of *incorrect* bits in its register is at most
+    ``max_incorrect``.  Indexed like the JRS MDC table: PC XOR the
+    consulted history, optionally with the prediction shifted in
+    (the same "enhanced" option as :class:`~repro.confidence.jrs.JRSEstimator`).
+
+    Registers start all-incorrect so cold entries are low confidence,
+    matching the MDC table's reset-to-zero initialisation.
+    """
+
+    def __init__(
+        self,
+        table_size: int = 4096,
+        register_bits: int = 8,
+        max_incorrect: int = 0,
+        enhanced: bool = True,
+    ):
+        if table_size < 1 or table_size & (table_size - 1):
+            raise ValueError(f"table_size {table_size} must be a power of two")
+        if register_bits < 1:
+            raise ValueError("register_bits must be >= 1")
+        if not 0 <= max_incorrect <= register_bits:
+            raise ValueError(
+                f"max_incorrect {max_incorrect} outside [0, {register_bits}]"
+            )
+        self.table_size = table_size
+        self.register_bits = register_bits
+        self.register_mask = (1 << register_bits) - 1
+        self.max_incorrect = max_incorrect
+        self.enhanced = enhanced
+        self.index_mask = table_size - 1
+        self.registers: List[int] = [0] * table_size  # 0 = all incorrect
+        self.name = f"cir({register_bits}b,<= {max_incorrect} wrong)"
+
+    def _index(self, pc: int, prediction: Prediction) -> int:
+        history = prediction.history
+        if self.enhanced:
+            history = (history << 1) | (1 if prediction.taken else 0)
+        return (pc ^ history) & self.index_mask
+
+    def estimate(self, pc: int, prediction: Prediction) -> Assessment:
+        index = self._index(pc, prediction)
+        incorrect = self.register_bits - _popcount(self.registers[index])
+        return Assessment(
+            high_confidence=incorrect <= self.max_incorrect,
+            token=index,
+        )
+
+    def resolve(
+        self,
+        pc: int,
+        prediction: Prediction,
+        taken: bool,
+        assessment: Assessment,
+    ) -> None:
+        index = assessment.token
+        outcome_bit = 1 if taken == prediction.taken else 0
+        self.registers[index] = (
+            (self.registers[index] << 1) | outcome_bit
+        ) & self.register_mask
+
+    def reset(self) -> None:
+        self.registers = [0] * self.table_size
+
+
+class DistanceIndexedCIREstimator(ConfidenceEstimator):
+    """CIR table indexed by the global misprediction distance (§4.1).
+
+    A single global counter tracks branches since the last detected
+    misprediction; its (clamped) value selects which correct/incorrect
+    register both assesses the branch and trains on its outcome.  The
+    structure deliberately ignores PC and history -- the configuration
+    the paper says Jacobsen et al. examined and that underperforms
+    because it matches no predictor's indexing.
+    """
+
+    def __init__(
+        self,
+        max_distance: int = 32,
+        register_bits: int = 8,
+        max_incorrect: int = 1,
+    ):
+        if max_distance < 1:
+            raise ValueError("max_distance must be >= 1")
+        if register_bits < 1:
+            raise ValueError("register_bits must be >= 1")
+        if not 0 <= max_incorrect <= register_bits:
+            raise ValueError(
+                f"max_incorrect {max_incorrect} outside [0, {register_bits}]"
+            )
+        self.max_distance = max_distance
+        self.register_bits = register_bits
+        self.register_mask = (1 << register_bits) - 1
+        self.max_incorrect = max_incorrect
+        self.registers: List[int] = [0] * (max_distance + 1)
+        self.distance = 0
+        self.name = f"cir@distance(<= {max_incorrect} wrong)"
+
+    def estimate(self, pc: int, prediction: Prediction) -> Assessment:
+        index = min(self.distance, self.max_distance)
+        self.distance += 1
+        incorrect = self.register_bits - _popcount(self.registers[index])
+        return Assessment(
+            high_confidence=incorrect <= self.max_incorrect,
+            token=index,
+        )
+
+    def resolve(
+        self,
+        pc: int,
+        prediction: Prediction,
+        taken: bool,
+        assessment: Assessment,
+    ) -> None:
+        index = assessment.token
+        correct = taken == prediction.taken
+        self.registers[index] = (
+            (self.registers[index] << 1) | (1 if correct else 0)
+        ) & self.register_mask
+        if not correct:
+            self.distance = 0
+
+    def reset(self) -> None:
+        self.registers = [0] * (self.max_distance + 1)
+        self.distance = 0

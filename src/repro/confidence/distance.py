@@ -1,0 +1,53 @@
+"""Misprediction-distance confidence estimator (paper §4.1).
+
+The paper's own inexpensive design, derived from the observation that
+mispredictions cluster: *"essentially a JRS confidence estimator with a
+single MDC register"*.  One global counter tracks how many branches
+have been fetched since the last **resolved** misprediction; a branch
+is high confidence when that count exceeds the distance threshold --
+enough correctly handled branches have gone by to have stepped past the
+cluster.
+
+Two timing details match hardware (and the paper):
+
+* the counter advances at *fetch* time, including wrong-path branches
+  (a real front end cannot tell them apart), and
+* it resets at *resolution* time, when the misprediction is detected --
+  the "perceived" rather than "precise" event.  In the trace-driven
+  engine resolution follows prediction immediately, degenerating to the
+  precise distance; the pipeline engine exhibits the skew of Figs 8/9.
+"""
+
+from __future__ import annotations
+
+from ..predictors.base import Prediction
+from .base import Assessment, ConfidenceEstimator
+
+
+class MispredictionDistanceEstimator(ConfidenceEstimator):
+    """Single global branch-distance counter with a HC threshold."""
+
+    def __init__(self, distance_threshold: int = 4):
+        if distance_threshold < 0:
+            raise ValueError("distance_threshold must be non-negative")
+        self.distance_threshold = distance_threshold
+        self.branches_since_misprediction = 0
+        self.name = f"distance(>{distance_threshold})"
+
+    def estimate(self, pc: int, prediction: Prediction) -> Assessment:
+        high = self.branches_since_misprediction > self.distance_threshold
+        self.branches_since_misprediction += 1
+        return Assessment(high)
+
+    def resolve(
+        self,
+        pc: int,
+        prediction: Prediction,
+        taken: bool,
+        assessment: Assessment,
+    ) -> None:
+        if taken != prediction.taken:
+            self.branches_since_misprediction = 0
+
+    def reset(self) -> None:
+        self.branches_since_misprediction = 0

@@ -1,0 +1,191 @@
+"""JRS miss-distance-counter confidence estimator.
+
+Jacobsen, Rotenberg & Smith's one-level resetting-counter estimator:
+a gshare-like table of n-bit *miss distance counters* (MDCs), indexed
+by PC XOR branch history.  Every correctly predicted branch increments
+its MDC (saturating); every misprediction resets it to zero.  A branch
+is tagged high-confidence when its MDC has reached the threshold --
+i.e. when enough consecutive correct predictions have mapped there to
+have stepped past the local cluster of poorly predicted branches
+(which is why the mechanism works; see paper §4.1).
+
+Paper defaults: 4096 four-bit counters, threshold 15 (a saturated MDC).
+
+This module also implements the paper's **enhanced** variant (§3.2.1):
+*"rather than use the same branch history to index the branch
+prediction and MDC table, we first predict the branch and include that
+prediction when we index the MDC table"* -- i.e. the MDC is indexed
+with the speculatively-updated history (the prediction shifted in), one
+bit fresher than what the predictor itself saw.  Hardware reads both
+candidate MDCs and late-selects once the prediction completes; the
+simulator simply forms the final index.  This is the "more recent
+information" improvement §3.5 credits for Figure 3.
+"""
+
+from __future__ import annotations
+
+from ..predictors.base import Prediction
+from ..predictors.counters import CounterTable
+from .base import Assessment, ConfidenceEstimator
+
+
+class JRSEstimator(ConfidenceEstimator):
+    """Resetting miss-distance-counter estimator (JRS, 1996).
+
+    Parameters
+    ----------
+    table_size:
+        Number of MDC entries (power of two; paper sweeps 64..4096).
+    counter_bits:
+        MDC width; the paper uses 4-bit counters.
+    threshold:
+        MDC value at or above which a branch is high confidence.
+        ``threshold = 2**counter_bits`` is unreachable and marks every
+        branch low-confidence (the right-most points of Figures 4/5).
+    enhanced:
+        Include the predicted direction in the MDC index (§3.2.1).
+    """
+
+    def __init__(
+        self,
+        table_size: int = 4096,
+        counter_bits: int = 4,
+        threshold: int = 15,
+        enhanced: bool = True,
+    ):
+        if threshold < 0 or threshold > (1 << counter_bits):
+            raise ValueError(
+                f"threshold {threshold} outside [0, {1 << counter_bits}]"
+            )
+        self.table = CounterTable(table_size, bits=counter_bits, initial=0)
+        self.threshold = threshold
+        self.enhanced = enhanced
+        self.name = f"jrs{'+' if enhanced else ''}(t>={threshold})"
+
+    def _index(self, pc: int, prediction: Prediction) -> int:
+        history = prediction.history
+        if self.enhanced:
+            # speculatively-updated history: prediction bit shifted in
+            history = (history << 1) | (1 if prediction.taken else 0)
+        return (pc ^ history) & self.table.index_mask
+
+    def estimate(self, pc: int, prediction: Prediction) -> Assessment:
+        index = self._index(pc, prediction)
+        return Assessment(
+            high_confidence=self.table.values[index] >= self.threshold,
+            token=index,
+        )
+
+    def resolve(
+        self,
+        pc: int,
+        prediction: Prediction,
+        taken: bool,
+        assessment: Assessment,
+    ) -> None:
+        index = assessment.token
+        if taken == prediction.taken:
+            self.table.increment(index)
+        else:
+            self.table.reset(index)
+
+    def reset(self) -> None:
+        self.table = CounterTable(self.table.size, bits=self.table.bits, initial=0)
+
+
+class CombiningJRSEstimator(ConfidenceEstimator):
+    """McFarling-structure-aware JRS (paper §5 future work).
+
+    §5: *"We are also working on a confidence estimator similar to the
+    JRS mechanism designed to better exploit the structure of the
+    McFarling two-level branch predictor."*  The §3.5 lesson is that an
+    estimator performs when its indexing mirrors the predictor's; a
+    combining predictor has *two* indexing structures, so this
+    estimator keeps one MDC table per component -- a gshare-style table
+    indexed by PC XOR (speculatively updated) history, and a
+    bimodal-style table indexed by PC alone -- and consults them the
+    way the predictor consults its components:
+
+    * ``selection="meta"`` -- trust the MDC whose component the meta
+      predictor selected for this branch (requires a McFarling
+      :class:`~repro.predictors.base.Prediction`, whose ``counters``
+      carry ``(gshare, bimodal, meta)``);
+    * ``selection="both"`` -- high confidence only when *both* MDCs
+      clear the threshold (the conservative analogue of Both-Strong);
+    * ``selection="either"`` -- high confidence when either MDC does.
+
+    Both tables train on every resolved branch (increment on correct,
+    reset on mispredict), mirroring how both components of the
+    McFarling predictor train on every outcome.
+    """
+
+    SELECTIONS = ("meta", "both", "either")
+
+    def __init__(
+        self,
+        table_size: int = 4096,
+        counter_bits: int = 4,
+        threshold: int = 15,
+        selection: str = "meta",
+    ):
+        if selection not in self.SELECTIONS:
+            raise ValueError(
+                f"selection must be one of {self.SELECTIONS}, got {selection!r}"
+            )
+        if threshold < 0 or threshold > (1 << counter_bits):
+            raise ValueError(
+                f"threshold {threshold} outside [0, {1 << counter_bits}]"
+            )
+        self.global_table = CounterTable(table_size, bits=counter_bits, initial=0)
+        self.local_table = CounterTable(table_size, bits=counter_bits, initial=0)
+        self.threshold = threshold
+        self.selection = selection
+        self.meta_midpoint = None  # inferred from the prediction
+        self.name = f"jrs-mcf({selection},t>={threshold})"
+
+    def _indices(self, pc: int, prediction: Prediction):
+        history = (prediction.history << 1) | (1 if prediction.taken else 0)
+        global_index = (pc ^ history) & self.global_table.index_mask
+        local_index = pc & self.local_table.index_mask
+        return global_index, local_index
+
+    def estimate(self, pc: int, prediction: Prediction) -> Assessment:
+        global_index, local_index = self._indices(pc, prediction)
+        global_high = self.global_table.values[global_index] >= self.threshold
+        local_high = self.local_table.values[local_index] >= self.threshold
+        if self.selection == "both":
+            high = global_high and local_high
+        elif self.selection == "either":
+            high = global_high or local_high
+        else:  # meta: follow the chosen component's structure
+            counters = prediction.counters
+            if len(counters) >= 3:
+                meta_counter = counters[2]
+                meta_chooses_global = meta_counter >= 2  # 2-bit midpoint
+            else:
+                meta_chooses_global = True  # single-component predictor
+            high = global_high if meta_chooses_global else local_high
+        return Assessment(high_confidence=high, token=(global_index, local_index))
+
+    def resolve(
+        self,
+        pc: int,
+        prediction: Prediction,
+        taken: bool,
+        assessment: Assessment,
+    ) -> None:
+        global_index, local_index = assessment.token
+        if taken == prediction.taken:
+            self.global_table.increment(global_index)
+            self.local_table.increment(local_index)
+        else:
+            self.global_table.reset(global_index)
+            self.local_table.reset(local_index)
+
+    def reset(self) -> None:
+        self.global_table = CounterTable(
+            self.global_table.size, bits=self.global_table.bits, initial=0
+        )
+        self.local_table = CounterTable(
+            self.local_table.size, bits=self.local_table.bits, initial=0
+        )

@@ -1,0 +1,78 @@
+"""Saturating-counters confidence estimator (Smith 1981; paper §3, §3.3.1).
+
+Uses the direction counters the branch predictor *already owns*: a
+branch whose counter sits in a saturated ("strong") state is tagged
+high confidence, transitional ("weak") states are low confidence.  Zero
+additional storage -- the cheapest estimator the paper considers.
+
+For the McFarling combining predictor two counters are consulted per
+branch, giving four (strong, weak) combinations and the two variants of
+§3.3.1:
+
+* **Both Strong**: HC only when *both* component counters are strong
+  (higher SPEC and PVP; the variant shown in Table 2).
+* **Either Strong**: LC only when *both* components are weak
+  (higher SENS).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..predictors.base import BranchPredictor, Prediction
+from ..predictors.counters import counter_is_strong
+from .base import Assessment, ConfidenceEstimator
+
+
+class McFarlingVariant(enum.Enum):
+    """How component counter strengths combine into one estimate."""
+
+    BOTH_STRONG = "both-strong"
+    EITHER_STRONG = "either-strong"
+    #: Use only the counter the meta predictor selected (one of the
+    #: "number of variations" §3.3.1 reports as generally worse).
+    SELECTED = "selected"
+
+
+class SaturatingCountersEstimator(ConfidenceEstimator):
+    """Strong/weak counter-state estimator.
+
+    For single-counter predictors (gshare, bimodal, SAg) the single
+    consulted counter decides.  For McFarling, ``variant`` selects the
+    combination rule.  ``counter_bits`` must match the predictor's.
+    """
+
+    def __init__(
+        self,
+        counter_bits: int = 2,
+        variant: McFarlingVariant = McFarlingVariant.BOTH_STRONG,
+    ):
+        self.counter_bits = counter_bits
+        self.variant = variant
+        self.name = f"satcnt({variant.value})"
+
+    @classmethod
+    def for_predictor(
+        cls,
+        predictor: BranchPredictor,
+        variant: McFarlingVariant = McFarlingVariant.BOTH_STRONG,
+    ) -> "SaturatingCountersEstimator":
+        """Build an estimator matched to ``predictor``'s counter width."""
+        return cls(counter_bits=predictor.counter_bits, variant=variant)
+
+    def estimate(self, pc: int, prediction: Prediction) -> Assessment:
+        counters = prediction.counters
+        bits = self.counter_bits
+        if len(counters) == 1:
+            return Assessment(counter_is_strong(counters[0], bits))
+        # McFarling: counters = (gshare, bimodal, meta)
+        gshare_strong = counter_is_strong(counters[0], bits)
+        bimodal_strong = counter_is_strong(counters[1], bits)
+        if self.variant is McFarlingVariant.BOTH_STRONG:
+            high = gshare_strong and bimodal_strong
+        elif self.variant is McFarlingVariant.EITHER_STRONG:
+            high = gshare_strong or bimodal_strong
+        else:  # SELECTED: strength of the chosen component only
+            meta_chooses_gshare = counters[2] >= (1 << (bits - 1))
+            high = gshare_strong if meta_chooses_gshare else bimodal_strong
+        return Assessment(high)

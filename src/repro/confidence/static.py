@@ -1,0 +1,78 @@
+"""Static (profile-based) confidence estimator (paper §3).
+
+A profiling run simulates the underlying branch predictor, records each
+static branch site's prediction accuracy, and marks sites at or above a
+threshold (paper: 90%) as high confidence.  At run time the estimate is
+a single hint bit per site -- no dynamic state at all.
+
+The paper stresses (footnote 1) that this cannot use a plain program
+profile: the hint depends on the *predictor's* behaviour at the site,
+so profiling requires a predictor simulation (or Profile-Me-style
+hardware).  :func:`profile_confident_sites` is that simulation; the
+reported results are "self-profiled" -- trained and evaluated on the
+same input -- the paper's explicit best case.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Tuple
+
+from ..predictors.base import BranchPredictor, Prediction
+from .base import Assessment, ConfidenceEstimator
+
+
+def profile_site_accuracy(
+    trace, predictor: BranchPredictor
+) -> Dict[int, Tuple[int, int]]:
+    """Run ``predictor`` over ``trace``; per-site (correct, total) counts.
+
+    ``trace`` is any iterable of ``(pc, taken)`` pairs (typically a
+    :class:`~repro.workloads.trace.BranchTrace`).  The predictor is
+    consumed: pass a fresh instance.
+    """
+    counts: Dict[int, Tuple[int, int]] = {}
+    predict = predictor.predict
+    resolve = predictor.resolve
+    for pc, taken in trace:
+        prediction = predict(pc)
+        resolve(pc, taken, prediction)
+        correct, total = counts.get(pc, (0, 0))
+        counts[pc] = (correct + (1 if prediction.taken == taken else 0), total + 1)
+    return counts
+
+
+def profile_confident_sites(
+    trace, predictor: BranchPredictor, accuracy_threshold: float = 0.90
+) -> AbstractSet[int]:
+    """Static sites whose predicted accuracy meets the threshold."""
+    if not 0.0 <= accuracy_threshold <= 1.0:
+        raise ValueError("accuracy_threshold must be in [0, 1]")
+    counts = profile_site_accuracy(trace, predictor)
+    return frozenset(
+        pc
+        for pc, (correct, total) in counts.items()
+        if total and correct / total >= accuracy_threshold
+    )
+
+
+class StaticEstimator(ConfidenceEstimator):
+    """Per-site hint-bit estimator built from a profiling pass."""
+
+    def __init__(self, confident_sites: AbstractSet[int], threshold: float = 0.90):
+        self.confident_sites = frozenset(confident_sites)
+        self.threshold = threshold
+        self.name = f"static(>{threshold:.0%})"
+
+    @classmethod
+    def from_profile(
+        cls,
+        trace,
+        predictor: BranchPredictor,
+        accuracy_threshold: float = 0.90,
+    ) -> "StaticEstimator":
+        """Profile ``trace`` under a fresh ``predictor`` and build hints."""
+        sites = profile_confident_sites(trace, predictor, accuracy_threshold)
+        return cls(sites, threshold=accuracy_threshold)
+
+    def estimate(self, pc: int, prediction: Prediction) -> Assessment:
+        return Assessment(pc in self.confident_sites)

@@ -1,0 +1,144 @@
+"""Tuned static confidence estimation (paper §5 future work).
+
+§5: *"we are working on an algorithm to 'tune' static confidence
+estimation to achieve a particular goal for PVN or SPEC."*  This module
+implements that algorithm.
+
+The static estimator's only degree of freedom is the set of sites
+marked low-confidence.  Given per-site profiling counts (correct_s,
+incorrect_s), marking site s low-confidence moves its whole population
+into the LC row, so any target is a knapsack-style selection problem
+over sites.  Both goals below admit exact greedy solutions:
+
+* **target SPEC** -- SPEC = (incorrect mass in LC) / (total incorrect).
+  To hit a SPEC target while keeping SENS maximal, pick LC sites in
+  decreasing incorrect:correct ratio (most misprediction coverage per
+  correct branch sacrificed) until the target is reached.
+* **target PVN** -- PVN of a site set is its pooled misprediction
+  rate.  Sorting sites by misprediction rate descending, every prefix
+  is the maximum-coverage set achieving its pooled rate; take the
+  longest prefix whose pooled rate still meets the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, FrozenSet, Tuple
+
+from .static import StaticEstimator
+
+SiteCounts = Dict[int, Tuple[int, int]]  # pc -> (correct, total)
+
+
+@dataclass(frozen=True)
+class TunedStatic:
+    """A tuned static estimator plus its training-set statistics."""
+
+    estimator: StaticEstimator
+    low_confidence_sites: FrozenSet[int]
+    achieved_spec: float
+    achieved_pvn: float
+    achieved_sens: float
+
+    @property
+    def coverage(self) -> float:
+        """Alias: fraction of mispredictions the LC set covers = SPEC."""
+        return self.achieved_spec
+
+
+def _site_table(counts: SiteCounts):
+    """Per-site (pc, correct, incorrect) rows plus population totals."""
+    rows = []
+    total_correct = 0
+    total_incorrect = 0
+    for pc, (correct, total) in counts.items():
+        incorrect = total - correct
+        if incorrect < 0:
+            raise ValueError(f"site {pc}: correct {correct} exceeds total {total}")
+        rows.append((pc, correct, incorrect))
+        total_correct += correct
+        total_incorrect += incorrect
+    return rows, total_correct, total_incorrect
+
+
+def _build(counts: SiteCounts, low_confidence: AbstractSet[int]) -> TunedStatic:
+    rows, total_correct, total_incorrect = _site_table(counts)
+    lc_correct = sum(c for pc, c, __ in rows if pc in low_confidence)
+    lc_incorrect = sum(i for pc, __, i in rows if pc in low_confidence)
+    confident = frozenset(pc for pc, __, ___ in rows) - frozenset(low_confidence)
+    spec = lc_incorrect / total_incorrect if total_incorrect else 0.0
+    pvn = (
+        lc_incorrect / (lc_correct + lc_incorrect)
+        if (lc_correct + lc_incorrect)
+        else 0.0
+    )
+    sens = (
+        (total_correct - lc_correct) / total_correct if total_correct else 0.0
+    )
+    estimator = StaticEstimator(confident, threshold=float("nan"))
+    estimator.name = "static(tuned)"
+    return TunedStatic(
+        estimator=estimator,
+        low_confidence_sites=frozenset(low_confidence),
+        achieved_spec=spec,
+        achieved_pvn=pvn,
+        achieved_sens=sens,
+    )
+
+
+def tune_for_spec(counts: SiteCounts, target_spec: float) -> TunedStatic:
+    """Smallest-SENS-loss LC set reaching ``target_spec`` on the profile.
+
+    Greedy by incorrect:correct ratio; exact for this objective because
+    sites are indivisible only at the margin (the classic knapsack
+    greedy bound) and in practice the marginal site is tiny.
+    """
+    if not 0.0 <= target_spec <= 1.0:
+        raise ValueError("target_spec must be in [0, 1]")
+    rows, __, total_incorrect = _site_table(counts)
+    needed = target_spec * total_incorrect
+    # most misprediction mass per sacrificed correct branch first
+    ranked = sorted(
+        rows, key=lambda row: (row[2] / (row[1] + 1), row[2]), reverse=True
+    )
+    low_confidence = set()
+    covered = 0
+    for pc, correct, incorrect in ranked:
+        if covered >= needed:
+            break
+        if incorrect == 0:
+            continue  # marking an always-correct site LC buys nothing
+        low_confidence.add(pc)
+        covered += incorrect
+    return _build(counts, low_confidence)
+
+
+def tune_for_pvn(counts: SiteCounts, target_pvn: float) -> TunedStatic:
+    """Maximum-coverage LC set whose pooled PVN meets ``target_pvn``.
+
+    Sites sorted by misprediction rate descending; the longest prefix
+    whose pooled rate is still >= the target is the unique
+    coverage-maximal solution (pooled rate is non-increasing along the
+    prefix order).
+    """
+    if not 0.0 <= target_pvn <= 1.0:
+        raise ValueError("target_pvn must be in [0, 1]")
+    rows, __, ___ = _site_table(counts)
+    ranked = sorted(
+        rows,
+        key=lambda row: (row[2] / (row[1] + row[2]) if (row[1] + row[2]) else 0.0),
+        reverse=True,
+    )
+    low_confidence = set()
+    pooled_correct = 0
+    pooled_incorrect = 0
+    for pc, correct, incorrect in ranked:
+        new_correct = pooled_correct + correct
+        new_incorrect = pooled_incorrect + incorrect
+        total = new_correct + new_incorrect
+        if total and new_incorrect / total >= target_pvn:
+            low_confidence.add(pc)
+            pooled_correct, pooled_incorrect = new_correct, new_incorrect
+        else:
+            break  # rates only fall from here; no later site can help
+    return _build(counts, low_confidence)

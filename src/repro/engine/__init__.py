@@ -1,0 +1,18 @@
+"""Trace-driven measurement engine."""
+
+from .corpus import clear_cache, workload_program, workload_run
+from .measure import MeasurementResult, Observer, measure, measure_accuracy
+from .tracer import TracedRun, TraceRunStats, trace_branches
+
+__all__ = [
+    "clear_cache",
+    "workload_program",
+    "workload_run",
+    "MeasurementResult",
+    "Observer",
+    "measure",
+    "measure_accuracy",
+    "TracedRun",
+    "TraceRunStats",
+    "trace_branches",
+]

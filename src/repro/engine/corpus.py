@@ -1,0 +1,35 @@
+"""Workload corpus with in-process caching.
+
+Generating and functionally executing a workload is the most expensive
+shared step of every trace-driven experiment, and its result (the
+committed branch stream) is identical across experiments.  This module
+memoises programs and traces per (workload, iterations) so a harness
+run pays the cost once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+from ..isa import Program
+from ..workloads import generate_program, get_profile
+from .tracer import TracedRun, trace_branches
+
+
+@lru_cache(maxsize=64)
+def workload_program(name: str, iterations: Optional[int] = None) -> Program:
+    """The assembled program of workload ``name`` (cached)."""
+    return generate_program(get_profile(name), iterations=iterations)
+
+
+@lru_cache(maxsize=64)
+def workload_run(name: str, iterations: Optional[int] = None) -> TracedRun:
+    """The committed branch stream of workload ``name`` (cached)."""
+    return trace_branches(workload_program(name, iterations))
+
+
+def clear_cache() -> None:
+    """Drop memoised programs/traces (tests use this to bound memory)."""
+    workload_program.cache_clear()
+    workload_run.cache_clear()

@@ -1,0 +1,106 @@
+"""Trace-driven measurement: predictor + estimators -> quadrant tables.
+
+Replays a committed branch stream through one branch predictor while
+any number of confidence estimators assess each prediction, exactly the
+measurement the paper describes in §2: *"we can measure C_HC, I_HC,
+C_LC and I_LC using a branch predictor for each branch and concurrently
+estimate the confidence"*.
+
+Running all estimators of an experiment in one pass keeps every
+estimator's view identical (same predictor state stream) and amortises
+the predictor simulation, which dominates the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Mapping, Sequence, Tuple
+
+from ..confidence.base import ConfidenceEstimator
+from ..metrics.quadrant import QuadrantCounts
+from ..predictors.base import BranchPredictor
+
+#: Observer signature: (pc, predicted_taken, actual_taken,
+#: {estimator name: high_confidence}).  Called once per branch, after
+#: estimation but before any resolve -- prediction-time information only.
+Observer = Callable[[int, bool, bool, Dict[str, bool]], None]
+
+
+@dataclass
+class MeasurementResult:
+    """Quadrant tables and predictor statistics for one measured run."""
+
+    predictor_name: str
+    branches: int
+    mispredictions: int
+    quadrants: Dict[str, QuadrantCounts] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        return (
+            (self.branches - self.mispredictions) / self.branches
+            if self.branches
+            else 0.0
+        )
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    def quadrant(self, estimator_name: str) -> QuadrantCounts:
+        return self.quadrants[estimator_name]
+
+
+def measure(
+    trace: Iterable[Tuple[int, bool]],
+    predictor: BranchPredictor,
+    estimators: Mapping[str, ConfidenceEstimator],
+    observers: Sequence[Observer] = (),
+) -> MeasurementResult:
+    """Measure every estimator in ``estimators`` over ``trace``.
+
+    The predictor and estimators are consumed (their state evolves);
+    pass fresh instances for independent measurements.
+    """
+    quadrants = {name: QuadrantCounts() for name in estimators}
+    estimator_items = list(estimators.items())
+    predict = predictor.predict
+    predictor_resolve = predictor.resolve
+    branches = 0
+    mispredictions = 0
+
+    for pc, taken in trace:
+        prediction = predict(pc)
+        assessments = [
+            (name, estimator, estimator.estimate(pc, prediction))
+            for name, estimator in estimator_items
+        ]
+        if observers:
+            flags = {
+                name: assessment.high_confidence
+                for name, __, assessment in assessments
+            }
+            for observer in observers:
+                observer(pc, prediction.taken, taken, flags)
+        correct = prediction.taken == taken
+        branches += 1
+        if not correct:
+            mispredictions += 1
+        predictor_resolve(pc, taken, prediction)
+        for name, estimator, assessment in assessments:
+            estimator.resolve(pc, prediction, taken, assessment)
+            quadrants[name].record(correct, assessment.high_confidence)
+
+    return MeasurementResult(
+        predictor_name=predictor.name,
+        branches=branches,
+        mispredictions=mispredictions,
+        quadrants=quadrants,
+    )
+
+
+def measure_accuracy(
+    trace: Iterable[Tuple[int, bool]], predictor: BranchPredictor
+) -> MeasurementResult:
+    """Predictor-only measurement (no estimators attached)."""
+    return measure(trace, predictor, {})

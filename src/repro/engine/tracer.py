@@ -1,0 +1,144 @@
+"""Fast functional tracer: program -> committed branch stream.
+
+The trace-driven experiments (Tables 2-4, Figures 3-5) only need the
+committed conditional-branch stream, which is independent of any
+predictor.  :func:`trace_branches` produces it with a specialised
+interpreter loop that works directly on register/memory state instead
+of going through :meth:`repro.isa.machine.Machine.step`; it is several
+times faster, which matters because the experiment harness replays
+every workload under many predictor/estimator configurations.
+
+Equivalence with the golden :class:`~repro.isa.Machine` semantics is
+enforced by an integration test over every workload profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..isa import Program
+from ..isa.instructions import (
+    LINK_REG,
+    WORD_MASK,
+    OpCategory,
+    Opcode,
+    branch_taken,
+    evaluate_alu,
+)
+from ..isa.machine import MachineFault
+from ..workloads.trace import BranchTrace
+
+
+@dataclass(frozen=True)
+class TraceRunStats:
+    """Execution statistics of one tracer run."""
+
+    instructions: int
+    branches: int
+    taken_branches: int
+    halted: bool
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.branches / self.instructions if self.instructions else 0.0
+
+
+def trace_branches(
+    program: Program,
+    max_steps: int = 50_000_000,
+    max_branches: Optional[int] = None,
+) -> "TracedRun":
+    """Execute ``program`` to completion; record its branch stream."""
+    instructions = program.instructions
+    code_length = len(instructions)
+    regs = [0] * 32
+    memory: Dict[int, int] = dict(program.data)
+    pc = program.entry
+
+    trace = BranchTrace.empty(program.name)
+    push_pc = trace.pcs.append
+    push_outcome = trace.outcomes.append
+
+    alu_rrr = OpCategory.ALU_RRR
+    alu_rri = OpCategory.ALU_RRI
+    lui = OpCategory.LUI
+    load = OpCategory.LOAD
+    store = OpCategory.STORE
+    branch = OpCategory.BRANCH
+    jump = OpCategory.JUMP
+    jump_register = OpCategory.JUMP_REGISTER
+    jal = Opcode.JAL
+    halt = Opcode.HALT
+
+    steps = 0
+    branches = 0
+    taken_branches = 0
+    halted = False
+    while steps < max_steps:
+        if pc < 0 or pc >= code_length:
+            raise MachineFault(f"fetch outside program at pc={pc}")
+        inst = instructions[pc]
+        opcode = inst.opcode
+        category = opcode.category
+        steps += 1
+        if category is alu_rri:
+            if inst.rd:
+                regs[inst.rd] = evaluate_alu(
+                    opcode, regs[inst.rs1], inst.imm & WORD_MASK
+                )
+            pc += 1
+        elif category is branch:
+            taken = branch_taken(opcode, regs[inst.rs1], regs[inst.rs2])
+            push_pc(pc)
+            push_outcome(1 if taken else 0)
+            branches += 1
+            if taken:
+                taken_branches += 1
+                pc = inst.imm
+            else:
+                pc += 1
+            if max_branches is not None and branches >= max_branches:
+                break
+        elif category is alu_rrr:
+            if inst.rd:
+                regs[inst.rd] = evaluate_alu(opcode, regs[inst.rs1], regs[inst.rs2])
+            pc += 1
+        elif category is load:
+            if inst.rd:
+                regs[inst.rd] = memory.get((regs[inst.rs1] + inst.imm) & WORD_MASK, 0)
+            pc += 1
+        elif category is store:
+            memory[(regs[inst.rs1] + inst.imm) & WORD_MASK] = regs[inst.rs2]
+            pc += 1
+        elif category is jump:
+            if opcode is jal:
+                regs[LINK_REG] = pc + 1
+            pc = inst.imm
+        elif category is jump_register:
+            pc = regs[inst.rs1]
+        elif category is lui:
+            if inst.rd:
+                regs[inst.rd] = (inst.imm << 16) & WORD_MASK
+            pc += 1
+        else:  # SYSTEM
+            if opcode is halt:
+                halted = True
+                break
+            pc += 1
+
+    stats = TraceRunStats(
+        instructions=steps,
+        branches=branches,
+        taken_branches=taken_branches,
+        halted=halted,
+    )
+    return TracedRun(trace=trace, stats=stats)
+
+
+@dataclass(frozen=True)
+class TracedRun:
+    """A branch trace together with its run statistics."""
+
+    trace: BranchTrace
+    stats: TraceRunStats

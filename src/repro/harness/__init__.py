@@ -1,0 +1,28 @@
+"""Experiment harness: one experiment per paper table/figure."""
+
+from .experiments import (
+    EXPERIMENTS,
+    FULL,
+    QUICK,
+    ExperimentResult,
+    Scale,
+    run_experiment,
+    standard_estimators,
+)
+from .runner import render_report, run_all
+from .tables import TextTable, pct, pct1
+
+__all__ = [
+    "EXPERIMENTS",
+    "FULL",
+    "QUICK",
+    "ExperimentResult",
+    "Scale",
+    "run_experiment",
+    "standard_estimators",
+    "render_report",
+    "run_all",
+    "TextTable",
+    "pct",
+    "pct1",
+]

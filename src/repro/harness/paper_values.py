@@ -1,0 +1,68 @@
+"""Reference numbers transcribed from the paper, for side-by-side
+comparison in experiment output and EXPERIMENTS.md.
+
+Only the values that are legible in the source text are recorded.
+All are suite averages computed the paper's way (mean of normalised
+quadrants, then ratios).  Keys are (sens, spec, pvp, pvn).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+Metrics = Tuple[Optional[float], Optional[float], Optional[float], Optional[float]]
+
+#: Table 2 / Table 4 reference rows: (predictor, estimator) -> metrics.
+TABLE2: Dict[Tuple[str, str], Metrics] = {
+    ("gshare", "jrs"): (0.56, 0.96, 0.98, 0.30),
+    ("gshare", "satcnt"): (0.88, 0.42, 0.88, 0.41),
+    ("gshare", "pattern"): (0.17, 0.94, 0.93, None),
+    ("gshare", "static"): (0.55, 0.89, 0.96, 0.28),
+    ("mcfarling", "jrs"): (0.64, 0.93, 0.99, 0.23),
+    ("mcfarling", "satcnt"): (0.67, 0.78, 0.96, 0.21),
+    ("mcfarling", "static"): (0.72, 0.88, 0.98, 0.26),
+    ("sag", "pattern"): (0.73, 0.81, 0.97, 0.26),
+}
+
+#: Table 4 misprediction-distance estimator rows:
+#: (predictor, distance threshold) -> metrics.
+TABLE4_DISTANCE: Dict[Tuple[str, int], Metrics] = {
+    ("gshare", 1): (0.86, 0.36, 0.88, 0.32),
+    ("gshare", 2): (0.77, 0.56, 0.90, 0.30),
+    ("gshare", 3): (0.69, 0.67, 0.92, 0.28),
+    ("gshare", 4): (0.64, 0.74, 0.93, 0.27),
+    ("gshare", 5): (0.59, 0.78, 0.94, 0.26),
+    ("gshare", 6): (0.55, 0.81, 0.94, 0.25),
+    ("gshare", 7): (0.52, 0.83, 0.94, 0.24),
+    ("mcfarling", 1): (0.90, 0.19, 0.92, 0.16),
+    ("mcfarling", 2): (0.81, 0.34, 0.92, 0.16),
+    ("mcfarling", 3): (0.75, 0.46, 0.93, 0.16),
+    ("mcfarling", 4): (0.69, 0.55, 0.94, 0.15),
+    ("mcfarling", 5): (0.64, 0.62, 0.94, 0.15),
+    ("mcfarling", 6): (0.60, 0.67, 0.95, 0.15),
+    ("mcfarling", 7): (0.57, 0.71, 0.95, 0.14),
+}
+
+#: Table 3 suite means: variant -> metrics (McFarling predictor).
+TABLE3_MEAN: Dict[str, Metrics] = {
+    "both-strong": (0.67, 0.78, None, None),
+}
+
+#: §4.2: mis-estimation rate right after a mis-estimated branch, at
+#: distance 4, and past distance 8.
+MISESTIMATION_DECAY = (0.45, 0.41, 0.33)
+
+#: Table 1: committed-instruction counts are workload properties of the
+#: real SPECint95 runs; the reproduction's synthetic runs are smaller by
+#: design.  Only the structural expectation is recorded: the processor
+#: issues 20-100% more instructions than it commits.
+FETCH_COMMIT_RATIO_RANGE = (1.2, 2.0)
+
+
+def format_reference(metrics: Metrics) -> str:
+    """Render a reference row like 'sens 56% spec 96% ...'."""
+    names = ("sens", "spec", "pvp", "pvn")
+    parts = []
+    for name, value in zip(names, metrics):
+        parts.append(f"{name} {value:.0%}" if value is not None else f"{name} --")
+    return " ".join(parts)

@@ -1,0 +1,44 @@
+"""Run experiment batteries and render a full report.
+
+``run_all`` executes every experiment in DESIGN.md's index and returns
+the results; ``render_report`` turns them into the text that
+EXPERIMENTS.md embeds.  The CLI exposes both.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional
+
+from .experiments import EXPERIMENTS, FULL, ExperimentResult, Scale
+
+
+def run_all(
+    scale: Scale = FULL, only: Optional[Iterable[str]] = None
+) -> Dict[str, ExperimentResult]:
+    """Run every (or the selected) experiment; returns id -> result."""
+    selected = list(only) if only is not None else list(EXPERIMENTS)
+    unknown = [experiment_id for experiment_id in selected if experiment_id not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {', '.join(unknown)}")
+    results: Dict[str, ExperimentResult] = {}
+    for experiment_id in selected:
+        results[experiment_id] = EXPERIMENTS[experiment_id](scale)
+    return results
+
+
+def render_report(results: Dict[str, ExperimentResult], scale: Scale) -> str:
+    """Render all experiment output as one report document."""
+    lines: List[str] = [
+        "# Experiment report",
+        "",
+        f"generated: {time.strftime('%Y-%m-%d %H:%M:%S')}",
+        f"scale: iterations={scale.iterations or 'profile default'}, "
+        f"pipeline_instructions={scale.pipeline_instructions}, "
+        f"workloads={','.join(scale.workloads)}",
+        "",
+    ]
+    for experiment_id, result in results.items():
+        lines.append(result.to_text())
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class TextTable:
+    """A titled monospace table; cells are pre-formatted strings."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        cells = [str(cell) for cell in cells]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def to_text(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def render(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+        lines = [self.title, "=" * len(self.title), render(self.headers)]
+        lines.append("  ".join("-" * width for width in widths))
+        lines.extend(render(row) for row in self.rows)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()
+
+
+def pct(value: float) -> str:
+    """Format a rate as the paper prints them (whole percent)."""
+    return f"{value:.0%}"
+
+
+def pct1(value: float) -> str:
+    """One-decimal percent (used where whole percent hides the signal)."""
+    return f"{value:.1%}"

@@ -1,0 +1,252 @@
+"""Instruction set of the mini RISC machine used as execution substrate.
+
+The paper evaluated confidence estimators on SPECint95 binaries running
+under SimpleScalar.  This repository replaces that substrate with a small
+but complete 32-register RISC ISA.  The ISA is deliberately conventional
+(MIPS-flavoured) so that the synthetic workloads in
+:mod:`repro.workloads` are ordinary programs: they have loops, calls,
+data-dependent branches, and -- crucially for the paper's Section 4 --
+meaningful *wrong-path* instructions that a speculative pipeline can
+fetch and execute before a misprediction is detected.
+
+All arithmetic is 32-bit two's complement.  Registers are named ``r0`` ..
+``r31``; ``r0`` is hard-wired to zero, as in MIPS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+NUM_REGISTERS = 32
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+SIGN_BIT = 1 << (WORD_BITS - 1)
+
+#: Register index of the hard-wired zero register.
+ZERO_REG = 0
+#: Conventional link register used by ``jal``.
+LINK_REG = 31
+
+
+def to_signed(value: int) -> int:
+    """Interpret ``value`` (any int) as a signed 32-bit quantity."""
+    value &= WORD_MASK
+    return value - (1 << WORD_BITS) if value & SIGN_BIT else value
+
+
+def to_unsigned(value: int) -> int:
+    """Truncate ``value`` to an unsigned 32-bit quantity."""
+    return value & WORD_MASK
+
+
+class Opcode(enum.Enum):
+    """Every operation understood by the machine.
+
+    The ``category`` property groups opcodes by their operand shape,
+    which the assembler and the simulators dispatch on.
+    """
+
+    # three-register ALU
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLT = "slt"
+    SLTU = "sltu"
+    # register-immediate ALU
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLTI = "slti"
+    SLLI = "slli"
+    SRLI = "srli"
+    SRAI = "srai"
+    LUI = "lui"
+    # memory
+    LW = "lw"
+    SW = "sw"
+    # control transfer
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    J = "j"
+    JAL = "jal"
+    JR = "jr"
+    # machine control
+    HALT = "halt"
+    NOP = "nop"
+
+    @property
+    def category(self) -> "OpCategory":
+        return _OP_CATEGORY[self]
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return _OP_CATEGORY[self] is OpCategory.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        return _OP_CATEGORY[self] in (
+            OpCategory.BRANCH,
+            OpCategory.JUMP,
+            OpCategory.JUMP_REGISTER,
+        )
+
+
+class OpCategory(enum.Enum):
+    """Operand/behaviour class of an opcode."""
+
+    ALU_RRR = "alu_rrr"  # rd, rs1, rs2
+    ALU_RRI = "alu_rri"  # rd, rs1, imm
+    LUI = "lui"  # rd, imm
+    LOAD = "load"  # rd, imm(rs1)
+    STORE = "store"  # rs2, imm(rs1)
+    BRANCH = "branch"  # rs1, rs2, target
+    JUMP = "jump"  # target (JAL also writes LINK_REG)
+    JUMP_REGISTER = "jump_register"  # rs1
+    SYSTEM = "system"  # no operands
+
+
+_OP_CATEGORY = {
+    Opcode.ADD: OpCategory.ALU_RRR,
+    Opcode.SUB: OpCategory.ALU_RRR,
+    Opcode.MUL: OpCategory.ALU_RRR,
+    Opcode.AND: OpCategory.ALU_RRR,
+    Opcode.OR: OpCategory.ALU_RRR,
+    Opcode.XOR: OpCategory.ALU_RRR,
+    Opcode.SLL: OpCategory.ALU_RRR,
+    Opcode.SRL: OpCategory.ALU_RRR,
+    Opcode.SRA: OpCategory.ALU_RRR,
+    Opcode.SLT: OpCategory.ALU_RRR,
+    Opcode.SLTU: OpCategory.ALU_RRR,
+    Opcode.ADDI: OpCategory.ALU_RRI,
+    Opcode.ANDI: OpCategory.ALU_RRI,
+    Opcode.ORI: OpCategory.ALU_RRI,
+    Opcode.XORI: OpCategory.ALU_RRI,
+    Opcode.SLTI: OpCategory.ALU_RRI,
+    Opcode.SLLI: OpCategory.ALU_RRI,
+    Opcode.SRLI: OpCategory.ALU_RRI,
+    Opcode.SRAI: OpCategory.ALU_RRI,
+    Opcode.LUI: OpCategory.LUI,
+    Opcode.LW: OpCategory.LOAD,
+    Opcode.SW: OpCategory.STORE,
+    Opcode.BEQ: OpCategory.BRANCH,
+    Opcode.BNE: OpCategory.BRANCH,
+    Opcode.BLT: OpCategory.BRANCH,
+    Opcode.BGE: OpCategory.BRANCH,
+    Opcode.J: OpCategory.JUMP,
+    Opcode.JAL: OpCategory.JUMP,
+    Opcode.JR: OpCategory.JUMP_REGISTER,
+    Opcode.HALT: OpCategory.SYSTEM,
+    Opcode.NOP: OpCategory.SYSTEM,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded machine instruction.
+
+    Fields that do not apply to an opcode's category are ``0``/``None``.
+    ``imm`` holds the signed immediate for ALU/memory forms and the
+    *absolute* target address for branches and jumps (the assembler
+    resolves labels to absolute instruction indices; a real encoding
+    would use PC-relative offsets, which changes nothing observable).
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    #: Optional label this instruction's target came from (for listings).
+    target_label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs1", "rs2"):
+            reg = getattr(self, name)
+            if not 0 <= reg < NUM_REGISTERS:
+                raise ValueError(f"{name}={reg} out of range for {self.opcode}")
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.opcode.is_conditional_branch
+
+    @property
+    def is_control(self) -> bool:
+        return self.opcode.is_control
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        cat = self.opcode.category
+        name = self.opcode.value
+        if cat is OpCategory.ALU_RRR:
+            return f"{name} r{self.rd}, r{self.rs1}, r{self.rs2}"
+        if cat is OpCategory.ALU_RRI:
+            return f"{name} r{self.rd}, r{self.rs1}, {self.imm}"
+        if cat is OpCategory.LUI:
+            return f"{name} r{self.rd}, {self.imm}"
+        if cat is OpCategory.LOAD:
+            return f"{name} r{self.rd}, {self.imm}(r{self.rs1})"
+        if cat is OpCategory.STORE:
+            return f"{name} r{self.rs2}, {self.imm}(r{self.rs1})"
+        if cat is OpCategory.BRANCH:
+            tgt = self.target_label or str(self.imm)
+            return f"{name} r{self.rs1}, r{self.rs2}, {tgt}"
+        if cat is OpCategory.JUMP:
+            return f"{name} {self.target_label or self.imm}"
+        if cat is OpCategory.JUMP_REGISTER:
+            return f"{name} r{self.rs1}"
+        return name
+
+
+def evaluate_alu(opcode: Opcode, a: int, b: int) -> int:
+    """Compute the 32-bit result of an ALU operation on operands a, b.
+
+    ``a`` and ``b`` are unsigned 32-bit register values; the result is an
+    unsigned 32-bit value.  Immediate forms reuse the base operation of
+    their register form (e.g. ``ADDI`` -> ``ADD``).
+    """
+    if opcode in (Opcode.ADD, Opcode.ADDI):
+        return (a + b) & WORD_MASK
+    if opcode is Opcode.SUB:
+        return (a - b) & WORD_MASK
+    if opcode is Opcode.MUL:
+        return (a * b) & WORD_MASK
+    if opcode in (Opcode.AND, Opcode.ANDI):
+        return (a & b) & WORD_MASK
+    if opcode in (Opcode.OR, Opcode.ORI):
+        return (a | b) & WORD_MASK
+    if opcode in (Opcode.XOR, Opcode.XORI):
+        return (a ^ b) & WORD_MASK
+    if opcode in (Opcode.SLL, Opcode.SLLI):
+        return (a << (b & 31)) & WORD_MASK
+    if opcode in (Opcode.SRL, Opcode.SRLI):
+        return (a & WORD_MASK) >> (b & 31)
+    if opcode in (Opcode.SRA, Opcode.SRAI):
+        return (to_signed(a) >> (b & 31)) & WORD_MASK
+    if opcode in (Opcode.SLT, Opcode.SLTI):
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if opcode is Opcode.SLTU:
+        return 1 if (a & WORD_MASK) < (b & WORD_MASK) else 0
+    raise ValueError(f"{opcode} is not an ALU opcode")
+
+
+def branch_taken(opcode: Opcode, a: int, b: int) -> bool:
+    """Evaluate a conditional branch's condition on register values."""
+    if opcode is Opcode.BEQ:
+        return (a & WORD_MASK) == (b & WORD_MASK)
+    if opcode is Opcode.BNE:
+        return (a & WORD_MASK) != (b & WORD_MASK)
+    if opcode is Opcode.BLT:
+        return to_signed(a) < to_signed(b)
+    if opcode is Opcode.BGE:
+        return to_signed(a) >= to_signed(b)
+    raise ValueError(f"{opcode} is not a conditional branch")

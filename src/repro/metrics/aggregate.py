@@ -1,0 +1,57 @@
+"""Cross-benchmark aggregation of quadrant tables.
+
+The paper is explicit about its averaging discipline (§3.2): *"when
+computing the average for the PVP, we take the mean for C_HC and C_LC
+and compute C_HC/(C_HC+C_LC), rather than averaging the existing
+PVPs"*.  :func:`average_quadrants` implements exactly that -- average
+the four normalised quadrant frequencies across benchmarks, then let
+the metric properties take their ratios.  :func:`metric_means` (plain
+per-benchmark metric averaging) is provided for the averaging-method
+ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from .quadrant import QuadrantCounts
+
+
+def average_quadrants(quadrants: Sequence[QuadrantCounts]) -> QuadrantCounts:
+    """Paper-style average: mean of normalised quadrant frequencies."""
+    if not quadrants:
+        raise ValueError("cannot average an empty set of quadrant tables")
+    normalized = [quadrant.normalized() for quadrant in quadrants]
+    count = len(normalized)
+    return QuadrantCounts(
+        c_hc=sum(quadrant.c_hc for quadrant in normalized) / count,
+        i_hc=sum(quadrant.i_hc for quadrant in normalized) / count,
+        c_lc=sum(quadrant.c_lc for quadrant in normalized) / count,
+        i_lc=sum(quadrant.i_lc for quadrant in normalized) / count,
+    )
+
+
+def metric_means(quadrants: Sequence[QuadrantCounts]) -> Dict[str, float]:
+    """Arithmetic mean of each per-benchmark metric (ablation only)."""
+    if not quadrants:
+        raise ValueError("cannot average an empty set of quadrant tables")
+    metrics: Dict[str, List[float]] = {"sens": [], "spec": [], "pvp": [], "pvn": []}
+    for quadrant in quadrants:
+        metrics["sens"].append(quadrant.sens)
+        metrics["spec"].append(quadrant.spec)
+        metrics["pvp"].append(quadrant.pvp)
+        metrics["pvn"].append(quadrant.pvn)
+    return {name: sum(values) / len(values) for name, values in metrics.items()}
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; zero if any value is zero (as for rates)."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot take the geometric mean of nothing")
+    if any(value < 0 for value in values):
+        raise ValueError("geometric mean requires non-negative values")
+    if any(value == 0 for value in values):
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values) / len(values))

@@ -1,0 +1,134 @@
+"""Closed-form relations between SENS, SPEC, accuracy, PVP and PVN.
+
+These are the Bayes-rule identities behind the paper's Figure 1.  With
+prediction accuracy ``p`` (the prior of a *correct* prediction):
+
+    PVP = SENS*p / (SENS*p + (1-SPEC)*(1-p))
+    PVN = SPEC*(1-p) / (SPEC*(1-p) + (1-SENS)*p)
+
+Figure 1 plots (PVP, PVN) trajectories while two of the three inputs
+are held fixed and the third sweeps 0..1, with decile markers.  The
+same phenomenon as Gastwirth's ELISA example falls out: with very high
+accuracy (rare "disease" = misprediction) even an excellent SPEC gives
+a modest PVN -- the reason every estimator's PVN sinks when moving from
+gshare to McFarling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+def _check_unit(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name}={value} outside [0, 1]")
+
+
+def pvp_from(sens: float, spec: float, accuracy: float) -> float:
+    """Predictive value of a positive (HC) test via Bayes' rule."""
+    _check_unit("sens", sens)
+    _check_unit("spec", spec)
+    _check_unit("accuracy", accuracy)
+    numerator = sens * accuracy
+    denominator = numerator + (1.0 - spec) * (1.0 - accuracy)
+    return numerator / denominator if denominator else 0.0
+
+
+def pvn_from(sens: float, spec: float, accuracy: float) -> float:
+    """Predictive value of a negative (LC) test via Bayes' rule."""
+    _check_unit("sens", sens)
+    _check_unit("spec", spec)
+    _check_unit("accuracy", accuracy)
+    numerator = spec * (1.0 - accuracy)
+    denominator = numerator + (1.0 - sens) * accuracy
+    return numerator / denominator if denominator else 0.0
+
+
+def quadrant_from_rates(
+    sens: float, spec: float, accuracy: float
+) -> Tuple[float, float, float, float]:
+    """Normalised (C_HC, I_HC, C_LC, I_LC) implied by the three rates."""
+    _check_unit("sens", sens)
+    _check_unit("spec", spec)
+    _check_unit("accuracy", accuracy)
+    c_hc = sens * accuracy
+    c_lc = (1.0 - sens) * accuracy
+    i_lc = spec * (1.0 - accuracy)
+    i_hc = (1.0 - spec) * (1.0 - accuracy)
+    return c_hc, i_hc, c_lc, i_lc
+
+
+@dataclass(frozen=True)
+class ParametricCurve:
+    """One Figure-1 line: (PVP, PVN) as one parameter sweeps 0..1."""
+
+    label: str
+    varying: str  # which of sens/spec is swept
+    fixed: Tuple[Tuple[str, float], ...]
+    points: Tuple[Tuple[float, float, float], ...]  # (param, pvp, pvn)
+
+    def decile_markers(self) -> List[Tuple[float, float, float]]:
+        """Points at parameter deciles (the markers in Figure 1)."""
+        markers = []
+        for decile in range(11):
+            target = decile / 10.0
+            closest = min(self.points, key=lambda point: abs(point[0] - target))
+            markers.append(closest)
+        return markers
+
+
+def figure1_curve(
+    varying: str,
+    sens: float = None,
+    spec: float = None,
+    accuracy: float = None,
+    steps: int = 100,
+) -> ParametricCurve:
+    """Build one parametric curve, sweeping ``varying`` over [0, 1].
+
+    Exactly one of ``sens``/``spec`` must be left ``None`` (the swept
+    one); ``accuracy`` is always fixed.
+    """
+    if varying not in ("sens", "spec"):
+        raise ValueError("varying must be 'sens' or 'spec'")
+    if accuracy is None:
+        raise ValueError("accuracy must be fixed for a Figure-1 curve")
+    fixed_values = {"sens": sens, "spec": spec}
+    if fixed_values[varying] is not None:
+        raise ValueError(f"{varying} is swept and must be None")
+    del fixed_values[varying]
+    (fixed_name, fixed_value), = fixed_values.items()
+    if fixed_value is None:
+        raise ValueError(f"{fixed_name} must be fixed")
+    points = []
+    for step in range(steps + 1):
+        value = step / steps
+        rates = {varying: value, fixed_name: fixed_value}
+        points.append(
+            (
+                value,
+                pvp_from(rates["sens"], rates["spec"], accuracy),
+                pvn_from(rates["sens"], rates["spec"], accuracy),
+            )
+        )
+    label = (
+        f"vary {varying}; {fixed_name}={fixed_value:.0%}, p={accuracy:.0%}"
+    )
+    return ParametricCurve(
+        label=label,
+        varying=varying,
+        fixed=((fixed_name, fixed_value), ("accuracy", accuracy)),
+        points=tuple(points),
+    )
+
+
+def figure1_family() -> List[ParametricCurve]:
+    """The representative curve family discussed with Figure 1."""
+    return [
+        figure1_curve("sens", spec=0.70, accuracy=0.70),
+        figure1_curve("sens", spec=0.70, accuracy=0.90),
+        figure1_curve("sens", spec=0.99, accuracy=0.90),
+        figure1_curve("spec", sens=0.70, accuracy=0.70),
+        figure1_curve("spec", sens=0.70, accuracy=0.90),
+    ]

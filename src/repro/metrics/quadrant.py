@@ -1,0 +1,164 @@
+"""The 2x2 quadrant table and the paper's four diagnostic-test metrics.
+
+Section 2 of the paper recasts confidence estimation as a screening
+test: every dynamic branch lands in one quadrant of
+
+    =====  =========  =========
+    .      correct    incorrect
+    HC     C_HC       I_HC
+    LC     C_LC       I_LC
+    =====  =========  =========
+
+and four "higher is better" statistics summarise an estimator:
+
+* SENS = P[HC|C]  -- correct predictions tagged high-confidence
+* PVP  = P[C|HC]  -- high-confidence tags that are right
+* SPEC = P[LC|I]  -- mispredictions tagged low-confidence
+* PVN  = P[I|LC]  -- low-confidence tags that are right
+
+SENS and SPEC are properties of the correct / incorrect populations
+alone and therefore independent of predictor accuracy; PVP and PVN mix
+in the accuracy ``p`` (see :mod:`repro.metrics.parametric` for the
+closed forms behind the paper's Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class QuadrantCounts:
+    """Counts (or normalised frequencies) of the four outcomes."""
+
+    c_hc: float = 0.0
+    i_hc: float = 0.0
+    c_lc: float = 0.0
+    i_lc: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("c_hc", "i_hc", "c_lc", "i_lc"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    # ------------------------------------------------------------------
+    # population sums
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        return self.c_hc + self.i_hc + self.c_lc + self.i_lc
+
+    @property
+    def correct(self) -> float:
+        """Correctly predicted branches (irrespective of confidence)."""
+        return self.c_hc + self.c_lc
+
+    @property
+    def incorrect(self) -> float:
+        return self.i_hc + self.i_lc
+
+    @property
+    def high_confidence(self) -> float:
+        return self.c_hc + self.i_hc
+
+    @property
+    def low_confidence(self) -> float:
+        return self.c_lc + self.i_lc
+
+    # ------------------------------------------------------------------
+    # the paper's four metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def sens(self) -> float:
+        """Sensitivity P[HC|C]; 0 when there are no correct predictions."""
+        return _ratio(self.c_hc, self.correct)
+
+    @property
+    def pvp(self) -> float:
+        """Predictive value of a positive test, P[C|HC]."""
+        return _ratio(self.c_hc, self.high_confidence)
+
+    @property
+    def spec(self) -> float:
+        """Specificity P[LC|I]; 0 when there are no mispredictions."""
+        return _ratio(self.i_lc, self.incorrect)
+
+    @property
+    def pvn(self) -> float:
+        """Predictive value of a negative test, P[I|LC]."""
+        return _ratio(self.i_lc, self.low_confidence)
+
+    # ------------------------------------------------------------------
+    # auxiliary statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def accuracy(self) -> float:
+        """Branch prediction accuracy p (independent of the estimator)."""
+        return _ratio(self.correct, self.total)
+
+    @property
+    def misprediction_rate(self) -> float:
+        return _ratio(self.incorrect, self.total)
+
+    @property
+    def coverage(self) -> float:
+        """Jacobsen et al.'s coverage: fraction of branches tagged LC."""
+        return _ratio(self.low_confidence, self.total)
+
+    @property
+    def confidence_misprediction_rate(self) -> float:
+        """Jacobsen et al.'s single-number metric (estimator "wrong"
+        whenever it disagrees with the eventual outcome); kept for
+        comparison, the paper argues it conflates HC and LC uses."""
+        return _ratio(self.i_hc + self.c_lc, self.total)
+
+    # ------------------------------------------------------------------
+    # construction and arithmetic
+    # ------------------------------------------------------------------
+
+    def record(self, correct: bool, high_confidence: bool, weight: float = 1.0) -> None:
+        """Accumulate one assessed branch into the table."""
+        if high_confidence:
+            if correct:
+                self.c_hc += weight
+            else:
+                self.i_hc += weight
+        elif correct:
+            self.c_lc += weight
+        else:
+            self.i_lc += weight
+
+    def normalized(self) -> "QuadrantCounts":
+        """Frequencies summing to one (the paper's presentation)."""
+        total = self.total
+        if total == 0:
+            return QuadrantCounts()
+        return QuadrantCounts(
+            c_hc=self.c_hc / total,
+            i_hc=self.i_hc / total,
+            c_lc=self.c_lc / total,
+            i_lc=self.i_lc / total,
+        )
+
+    def __add__(self, other: "QuadrantCounts") -> "QuadrantCounts":
+        return QuadrantCounts(
+            c_hc=self.c_hc + other.c_hc,
+            i_hc=self.i_hc + other.i_hc,
+            c_lc=self.c_lc + other.c_lc,
+            i_lc=self.i_lc + other.i_lc,
+        )
+
+    def summary(self) -> str:
+        """One-line rendering used by examples and the CLI."""
+        return (
+            f"sens={self.sens:6.1%} spec={self.spec:6.1%} "
+            f"pvp={self.pvp:6.1%} pvn={self.pvn:6.1%} "
+            f"(accuracy={self.accuracy:6.2%}, n={self.total:.0f})"
+        )
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator else 0.0

@@ -1,0 +1,155 @@
+"""Statistical machinery for quadrant metrics.
+
+Every paper metric (SENS/SPEC/PVP/PVN, accuracy) is a binomial
+proportion over some sub-population of branches, so standard interval
+and test machinery applies:
+
+* :func:`wilson_interval` -- the Wilson score interval, well-behaved at
+  the extreme proportions confidence estimators produce (PVP near 1);
+* :func:`metric_interval` -- interval for a named metric of a
+  :class:`~repro.metrics.quadrant.QuadrantCounts`, using the metric's
+  actual denominator population;
+* :func:`two_proportion_z` / :func:`proportions_differ` -- are two
+  estimators' metrics distinguishable at the given confidence, given
+  their sample sizes?
+
+These make the harness's comparisons honest: a 1-point PVN difference
+on 40k branches is real; on 400 it is noise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from .quadrant import QuadrantCounts
+
+#: z for the conventional confidence levels.
+Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def _z_for(confidence: float) -> float:
+    try:
+        return Z_VALUES[confidence]
+    except KeyError:
+        raise ValueError(
+            f"confidence must be one of {sorted(Z_VALUES)}, got {confidence}"
+        ) from None
+
+
+def wilson_interval(
+    successes: float, trials: float, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError(f"invalid counts: {successes}/{trials}")
+    if trials == 0:
+        return (0.0, 1.0)
+    z = _z_for(confidence)
+    proportion = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    centre = (proportion + z2 / (2.0 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(
+            proportion * (1.0 - proportion) / trials + z2 / (4.0 * trials * trials)
+        )
+        / denominator
+    )
+    # the exact bounds at the extremes are 0/1; floating point can land
+    # a hair inside them and exclude the point estimate itself
+    low = 0.0 if successes == 0 else max(0.0, centre - margin)
+    high = 1.0 if successes == trials else min(1.0, centre + margin)
+    return (low, high)
+
+
+#: metric -> (numerator cell, denominator population) on QuadrantCounts.
+_METRIC_POPULATIONS = {
+    "sens": ("c_hc", "correct"),
+    "spec": ("i_lc", "incorrect"),
+    "pvp": ("c_hc", "high_confidence"),
+    "pvn": ("i_lc", "low_confidence"),
+    "accuracy": ("correct", "total"),
+}
+
+
+def metric_interval(
+    quadrant: QuadrantCounts, metric: str, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson interval for one quadrant metric.
+
+    Only meaningful on *raw counts* (a normalised table has lost its
+    sample sizes, and this function will treat it as n <= 1).
+    """
+    try:
+        numerator_name, denominator_name = _METRIC_POPULATIONS[metric]
+    except KeyError:
+        raise ValueError(
+            f"metric must be one of {sorted(_METRIC_POPULATIONS)}, got {metric!r}"
+        ) from None
+    numerator = getattr(quadrant, numerator_name)
+    denominator = getattr(quadrant, denominator_name)
+    return wilson_interval(numerator, denominator, confidence)
+
+
+def two_proportion_z(
+    successes_a: float,
+    trials_a: float,
+    successes_b: float,
+    trials_b: float,
+) -> float:
+    """Two-proportion pooled z statistic (0 when either sample is empty)."""
+    if trials_a <= 0 or trials_b <= 0:
+        return 0.0
+    p_a = successes_a / trials_a
+    p_b = successes_b / trials_b
+    pooled = (successes_a + successes_b) / (trials_a + trials_b)
+    variance = pooled * (1.0 - pooled) * (1.0 / trials_a + 1.0 / trials_b)
+    if variance <= 0.0:
+        return 0.0
+    return (p_a - p_b) / math.sqrt(variance)
+
+
+def proportions_differ(
+    successes_a: float,
+    trials_a: float,
+    successes_b: float,
+    trials_b: float,
+    confidence: float = 0.95,
+) -> bool:
+    """Two-sided test: are the two proportions distinguishable?"""
+    z = abs(two_proportion_z(successes_a, trials_a, successes_b, trials_b))
+    return z > _z_for(confidence)
+
+
+def metrics_differ(
+    quadrant_a: QuadrantCounts,
+    quadrant_b: QuadrantCounts,
+    metric: str,
+    confidence: float = 0.95,
+) -> bool:
+    """Is ``metric`` significantly different between two estimators?
+
+    Both quadrants must hold raw counts from (possibly the same)
+    measured runs; the metric's own denominator population supplies the
+    sample sizes.
+    """
+    numerator_name, denominator_name = _METRIC_POPULATIONS[metric]
+    return proportions_differ(
+        getattr(quadrant_a, numerator_name),
+        getattr(quadrant_a, denominator_name),
+        getattr(quadrant_b, numerator_name),
+        getattr(quadrant_b, denominator_name),
+        confidence,
+    )
+
+
+def format_with_interval(
+    quadrant: QuadrantCounts, metric: str, confidence: float = 0.95
+) -> str:
+    """'30.1% ±1.2%' style rendering for harness output."""
+    value = getattr(quadrant, metric)
+    low, high = metric_interval(quadrant, metric, confidence)
+    margin = max(value - low, high - value)
+    return f"{value:.1%} ±{margin:.1%}"

@@ -1,0 +1,16 @@
+"""Speculative 5-stage pipeline simulator (sim-outorder substitute)."""
+
+from .caches import Cache
+from .config import CacheConfig, PipelineConfig
+from .core import PipelineResult, PipelineSimulator
+from .records import BranchRecord, PipelineStats
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "PipelineConfig",
+    "PipelineResult",
+    "PipelineSimulator",
+    "BranchRecord",
+    "PipelineStats",
+]

@@ -1,0 +1,80 @@
+"""Pipeline configuration (the paper's sim-outorder-derived machine).
+
+Paper §3.1: a 5-stage pipeline with an additional 3-cycle misprediction
+recovery penalty, a 64 kB L1 data cache and a 128 kB L1 instruction
+cache, both with 2-cycle access latency.  Those are the defaults here;
+everything is a knob so the benchmarks can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one set-associative cache (word-granular addresses)."""
+
+    size_words: int
+    line_words: int = 8
+    associativity: int = 2
+    miss_penalty: int = 10
+
+    def __post_init__(self) -> None:
+        for name in ("size_words", "line_words", "associativity"):
+            value = getattr(self, name)
+            if value < 1 or value & (value - 1):
+                raise ValueError(f"{name}={value} must be a positive power of two")
+        if self.size_words < self.line_words * self.associativity:
+            raise ValueError("cache smaller than one set")
+        if self.miss_penalty < 0:
+            raise ValueError("miss_penalty must be non-negative")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_words // self.line_words
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Machine model parameters.
+
+    ``resolve_stage`` is the fetch-to-branch-resolution depth in cycles
+    (IF to EX of the 5-stage pipe); ``mispredict_penalty`` is the
+    paper's *additional* 3-cycle recovery charge on top of the natural
+    refill.  ``window`` bounds in-flight instructions (fetch stalls when
+    full).  Data-cache misses feed a congestion counter (decaying one
+    cycle per cycle) that delays subsequent branch resolution, modelling
+    the variable resolution time the paper points to when explaining the
+    perceived-distance skew of Figures 8/9.
+    """
+
+    fetch_width: int = 4
+    commit_width: int = 4
+    window: int = 64
+    resolve_stage: int = 3
+    mispredict_penalty: int = 3
+    icache: CacheConfig = CacheConfig(size_words=32768, line_words=8)  # 128 kB
+    dcache: CacheConfig = CacheConfig(size_words=16384, line_words=8)  # 64 kB
+    cache_hit_latency: int = 2
+    congestion_cap: int = 24
+
+    def __post_init__(self) -> None:
+        if self.fetch_width < 1:
+            raise ValueError("fetch_width must be >= 1")
+        if self.commit_width < 1:
+            raise ValueError("commit_width must be >= 1")
+        if self.window < self.fetch_width:
+            raise ValueError("window must hold at least one fetch group")
+        if self.resolve_stage < 1:
+            raise ValueError("resolve_stage must be >= 1")
+        if self.mispredict_penalty < 0:
+            raise ValueError("mispredict_penalty must be non-negative")
+        if self.cache_hit_latency < 1:
+            raise ValueError("cache_hit_latency must be >= 1")
+        if self.congestion_cap < 0:
+            raise ValueError("congestion_cap must be non-negative")

@@ -1,0 +1,391 @@
+"""Cycle-based speculative pipeline simulator.
+
+This is the repository's stand-in for the paper's extended
+SimpleScalar ``sim-outorder``: a 5-stage machine that
+
+* fetches ``fetch_width`` instructions per cycle through an I-cache,
+* executes every fetched instruction *functionally at decode* on the
+  journaled :class:`~repro.isa.Machine` -- so, like the paper's
+  simulator, it "knows the outcome of all branches at the point of
+  instruction decode, even for branches that do not actually commit",
+* follows the branch predictor down wrong paths, executing real
+  wrong-path code until the mispredicted branch resolves
+  ``resolve_stage`` cycles after fetch, then restores the branch's
+  machine snapshot, squashes younger in-flight instructions, repairs
+  the predictor's speculative history, and charges the additional
+  ``mispredict_penalty`` cycles of recovery,
+* resolves/commits in order (squashed instructions never update the
+  predictor, the estimators, or architectural state).
+
+Because the journaled machine *is* the architectural state, the
+committed instruction stream provably equals the pure functional
+execution -- an invariant the integration tests check directly.
+
+The simulator records a :class:`~repro.pipeline.records.BranchRecord`
+for every fetched conditional branch, carrying both the *precise*
+misprediction distance (reset when a mispredicted branch is fetched;
+the oracle view of Figures 6/7) and the *perceived* distance (reset
+when a misprediction is detected at resolution; the implementable view
+of Figures 8/9), plus the confidence estimates made at fetch time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+from ..confidence.base import ConfidenceEstimator
+from ..isa import Machine, MachineFault, Program
+from ..isa.instructions import WORD_MASK, OpCategory
+from ..metrics.quadrant import QuadrantCounts
+from ..predictors.base import BranchPredictor
+from .caches import Cache
+from .config import PipelineConfig
+from .records import BranchRecord, PipelineStats
+
+
+class _Inflight:
+    """One in-flight instruction (pipeline-internal)."""
+
+    __slots__ = (
+        "sequence",
+        "pc",
+        "is_branch",
+        "is_halt",
+        "prediction",
+        "assessments",
+        "actual_taken",
+        "mispredicted",
+        "snapshot",
+        "ready_cycle",
+        "record",
+    )
+
+    def __init__(self, sequence: int, pc: int, ready_cycle: int):
+        self.sequence = sequence
+        self.pc = pc
+        self.is_branch = False
+        self.is_halt = False
+        self.prediction = None
+        self.assessments: List[Tuple[str, ConfidenceEstimator, object]] = []
+        self.actual_taken = False
+        self.mispredicted = False
+        self.snapshot = None
+        self.ready_cycle = ready_cycle
+        self.record: Optional[BranchRecord] = None
+
+
+class PipelineResult:
+    """Everything a pipeline run produced."""
+
+    def __init__(
+        self,
+        stats: PipelineStats,
+        branch_records: List[BranchRecord],
+        quadrants_committed: Dict[str, QuadrantCounts],
+        quadrants_all: Dict[str, QuadrantCounts],
+    ):
+        self.stats = stats
+        self.branch_records = branch_records
+        #: Estimator quadrants over committed branches only (resolved).
+        self.quadrants_committed = quadrants_committed
+        #: Estimator quadrants over every fetched branch.
+        self.quadrants_all = quadrants_all
+
+    def committed_records(self) -> List[BranchRecord]:
+        return [record for record in self.branch_records if record.committed]
+
+
+class PipelineSimulator:
+    """Speculative 5-stage pipeline over a program + predictor.
+
+    Optional confidence ``estimators`` are consulted at fetch for every
+    branch (wrong-path included, as in hardware) and resolved in order
+    for committed branches only.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        predictor: BranchPredictor,
+        config: PipelineConfig = None,
+        estimators: Mapping[str, ConfidenceEstimator] = None,
+    ):
+        self.program = program
+        self.predictor = predictor
+        self.config = config or PipelineConfig()
+        self.estimators = dict(estimators or {})
+        self.machine = Machine(program)
+        self.icache = Cache(self.config.icache)
+        self.dcache = Cache(self.config.dcache)
+        self.stats = PipelineStats()
+        self.branch_records: List[BranchRecord] = []
+        self._inflight: Deque[_Inflight] = deque()
+        self._cycle = 0
+        self._sequence = 0
+        self._fetch_stalled_until = 0
+        #: True when the speculative front end ran off the program (a
+        #: wrong-path fault); cleared by misprediction recovery.
+        self._fetch_faulted = False
+        self._congestion = 0
+        #: Unresolved mispredicted branches in flight (0 or more; >0
+        #: means the front end is on a wrong path).
+        self._unresolved_mispredictions = 0
+        #: Branches fetched since the last mispredicted *fetch* (precise).
+        self._precise_counter = 0
+        #: Branches fetched since the last *detected* misprediction.
+        self._perceived_counter = 0
+        self._program_done = False  # halt committed
+        self._quadrants_committed = {
+            name: QuadrantCounts() for name in self.estimators
+        }
+        self._quadrants_all = {name: QuadrantCounts() for name in self.estimators}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once the program's ``halt`` has committed."""
+        return self._program_done
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    def wants_fetch(self) -> bool:
+        """Would this pipeline fetch if offered the slot this cycle?
+
+        Fetch arbiters (the SMT front end) use this to skip stalled or
+        finished threads without burning the shared slot.
+        """
+        return (
+            not self._program_done
+            and not self._fetch_faulted
+            and self._cycle >= self._fetch_stalled_until
+            and not self.machine.halted
+            and len(self._inflight) < self.config.window
+        )
+
+    def step_cycle(self, fetch_allowed: bool = True) -> None:
+        """Advance one cycle: commit/resolve, then (optionally) fetch.
+
+        ``fetch_allowed=False`` models losing the fetch slot to another
+        thread or a gating decision; the back end still progresses.
+        """
+        self._commit_stage()
+        if not self._program_done and fetch_allowed:
+            self._fetch_stage()
+        self._cycle += 1
+        if self._congestion:
+            self._congestion -= 1
+
+    def run(
+        self,
+        max_cycles: int = 10_000_000,
+        max_instructions: Optional[int] = None,
+    ) -> PipelineResult:
+        """Simulate until the program halts (committed) or a limit hits."""
+        while not self._program_done and self._cycle < max_cycles:
+            if (
+                max_instructions is not None
+                and self.stats.committed_instructions >= max_instructions
+            ):
+                break
+            self.step_cycle()
+        return self.result()
+
+    def result(self) -> PipelineResult:
+        """Snapshot the run's results (also usable mid-simulation)."""
+        self.stats.cycles = self._cycle
+        self.stats.icache_misses = self.icache.misses
+        self.stats.dcache_misses = self.dcache.misses
+        return PipelineResult(
+            stats=self.stats,
+            branch_records=self.branch_records,
+            quadrants_committed=self._quadrants_committed,
+            quadrants_all=self._quadrants_all,
+        )
+
+    # ------------------------------------------------------------------
+    # commit/resolve stage
+    # ------------------------------------------------------------------
+
+    def _commit_stage(self) -> None:
+        committed = 0
+        while (
+            self._inflight
+            and committed < self.config.commit_width
+            and self._inflight[0].ready_cycle <= self._cycle
+        ):
+            entry = self._inflight.popleft()
+            committed += 1
+            self.stats.committed_instructions += 1
+            if entry.is_halt:
+                self._program_done = True
+                return
+            if not entry.is_branch:
+                continue
+            self._resolve_branch(entry)
+            if entry.mispredicted:
+                return  # redirect consumed the rest of this commit group
+
+    def _resolve_branch(self, entry: _Inflight) -> None:
+        self.stats.committed_branches += 1
+        record = entry.record
+        record.committed = True
+        record.resolve_cycle = self._cycle
+        correct = not entry.mispredicted
+        self.predictor.resolve(entry.pc, entry.actual_taken, entry.prediction)
+        for name, estimator, assessment in entry.assessments:
+            estimator.resolve(
+                entry.pc, entry.prediction, entry.actual_taken, assessment
+            )
+            self._quadrants_committed[name].record(
+                correct, assessment.high_confidence
+            )
+        if entry.mispredicted:
+            self.stats.committed_mispredictions += 1
+            self._perceived_counter = 0  # detection event
+            self._after_mispredicted_resolve(entry)
+
+    def _after_mispredicted_resolve(self, entry: _Inflight) -> None:
+        """Hook: what a detected misprediction costs (default: full
+        squash-and-refill recovery; the dual-path simulator overrides
+        this for forked branches whose alternate path already ran)."""
+        self._recover_from(entry)
+
+    def _recover_from(self, entry: _Inflight) -> None:
+        """Squash younger work and restart fetch on the correct path."""
+        self.machine.restore(entry.snapshot)
+        for younger in self._inflight:
+            self.stats.squashed_instructions += 1
+            if younger.record is not None:
+                younger.record.committed = False
+        self._inflight.clear()
+        self.machine.trim_journal()  # no snapshots remain live
+        self._unresolved_mispredictions = 0
+        self._fetch_faulted = False
+        self._fetch_stalled_until = max(
+            self._fetch_stalled_until,
+            self._cycle + 1 + self.config.mispredict_penalty,
+        )
+
+    # ------------------------------------------------------------------
+    # fetch/decode/execute stage
+    # ------------------------------------------------------------------
+
+    def _fetch_stage(self) -> None:
+        config = self.config
+        if self._cycle < self._fetch_stalled_until or self._fetch_faulted:
+            return
+        machine = self.machine
+        instructions = self.program.instructions
+        code_length = len(instructions)
+        fetched = 0
+        fetch_width = self._fetch_width()
+        while (
+            fetched < fetch_width
+            and len(self._inflight) < config.window
+            and not machine.halted
+        ):
+            pc = machine.pc
+            if pc < 0 or pc >= code_length:
+                # runaway fetch (stale jr target on a wrong path)
+                if self._unresolved_mispredictions:
+                    self._fetch_faulted = True
+                    return
+                raise MachineFault(f"fetch outside program at pc={pc}")
+            if not self.icache.access(pc):
+                self._fetch_stalled_until = (
+                    self._cycle + config.icache.miss_penalty
+                )
+                return
+            inst = instructions[pc]
+            category = inst.opcode.category
+            if category is OpCategory.LOAD or category is OpCategory.STORE:
+                address = (machine.regs[inst.rs1] + inst.imm) & WORD_MASK
+                if not self.dcache.access(address):
+                    self._congestion = min(
+                        config.congestion_cap,
+                        self._congestion + config.dcache.miss_penalty,
+                    )
+            result = machine.step()
+            fetched += 1
+            self.stats.fetched_instructions += 1
+            entry = _Inflight(
+                self._sequence, pc, self._cycle + config.resolve_stage
+            )
+            self._sequence += 1
+            self._inflight.append(entry)
+            if result.taken is not None:
+                self._fetch_branch(entry, result, inst)
+                if entry.mispredicted:
+                    break  # fetch group ends at a front-end redirect
+            elif result.halted:
+                entry.is_halt = True
+                break
+
+    def _fetch_width(self) -> int:
+        """Hook: instructions fetchable this cycle (default: config
+        width; the dual-path simulator halves it while a fork is live)."""
+        return self.config.fetch_width
+
+    def _fetch_branch(self, entry: _Inflight, result, inst) -> None:
+        pc = entry.pc
+        machine = self.machine
+        prediction = self.predictor.predict(pc)
+        entry.is_branch = True
+        entry.prediction = prediction
+        entry.actual_taken = result.taken
+        entry.mispredicted = prediction.taken != result.taken
+        entry.ready_cycle += self._congestion
+        wrong_path = self._unresolved_mispredictions > 0
+        for name, estimator in self.estimators.items():
+            assessment = estimator.estimate(pc, prediction)
+            entry.assessments.append((name, estimator, assessment))
+            self._quadrants_all[name].record(
+                not entry.mispredicted, assessment.high_confidence
+            )
+        record = BranchRecord(
+            sequence=entry.sequence,
+            pc=pc,
+            predicted_taken=prediction.taken,
+            actual_taken=result.taken,
+            fetch_cycle=self._cycle,
+            resolve_cycle=None,
+            committed=False,
+            precise_distance=self._precise_counter,
+            perceived_distance=self._perceived_counter,
+            wrong_path=wrong_path,
+            assessments={
+                name: assessment.high_confidence
+                for name, __, assessment in entry.assessments
+            },
+        )
+        entry.record = record
+        self.branch_records.append(record)
+        self.stats.fetched_branches += 1
+        self._perceived_counter += 1
+        if entry.mispredicted:
+            self.stats.fetched_mispredictions += 1
+            self._precise_counter = 0
+            self._front_end_mispredict(entry, inst)
+        else:
+            self._precise_counter += 1
+
+    def _front_end_mispredict(self, entry: _Inflight, inst) -> None:
+        """Hook: steer the front end at a mispredicted fetch (default:
+        follow the wrong, predicted path until resolution; the dual-path
+        simulator keeps the correct path when it forks instead)."""
+        machine = self.machine
+        self._unresolved_mispredictions += 1
+        # state right after the branch went its *actual* way: the
+        # recovery point if/when this branch resolves
+        entry.snapshot = machine.snapshot()
+        # redirect the front end down the predicted (wrong) path
+        if entry.prediction.taken:
+            machine.pc = inst.imm
+        else:
+            machine.pc = entry.pc + 1

@@ -1,0 +1,97 @@
+"""Per-branch records produced by the pipeline simulator.
+
+Every *fetched* conditional branch -- committed or wrong-path -- gets a
+record, because the paper's §3.1 point is exactly that the processor
+cannot tell those populations apart at prediction time and the §4
+clustering analysis needs both views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class BranchRecord:
+    """One fetched conditional branch as the pipeline saw it."""
+
+    __slots__ = (
+        "sequence",
+        "pc",
+        "predicted_taken",
+        "actual_taken",
+        "fetch_cycle",
+        "resolve_cycle",
+        "committed",
+        "precise_distance",
+        "perceived_distance",
+        "wrong_path",
+        "assessments",
+    )
+
+    sequence: int
+    pc: int
+    predicted_taken: bool
+    #: Outcome in the context the branch executed in (for wrong-path
+    #: branches this is the outcome *down that wrong path*).
+    actual_taken: bool
+    fetch_cycle: int
+    #: Cycle the branch resolved/committed; None if squashed.
+    resolve_cycle: Optional[int]
+    #: True iff the branch eventually committed (was never squashed).
+    committed: bool
+    #: Fetched branches since the last *actually mispredicted* branch
+    #: was fetched (the paper's "precise" distance, Figures 6/7).
+    precise_distance: int
+    #: Fetched branches since the last *detected* (resolved)
+    #: misprediction (the paper's "perceived" distance, Figures 8/9).
+    perceived_distance: int
+    #: True iff fetched while an older misprediction was unresolved.
+    wrong_path: bool
+    #: Confidence estimates at fetch: estimator name -> high confidence.
+    assessments: Dict[str, bool]
+
+    @property
+    def mispredicted(self) -> bool:
+        return self.predicted_taken != self.actual_taken
+
+
+@dataclass
+class PipelineStats:
+    """Aggregate counters of one pipeline run (Table 1 inputs)."""
+
+    cycles: int = 0
+    fetched_instructions: int = 0
+    committed_instructions: int = 0
+    squashed_instructions: int = 0
+    fetched_branches: int = 0
+    committed_branches: int = 0
+    committed_mispredictions: int = 0
+    fetched_mispredictions: int = 0
+    icache_misses: int = 0
+    dcache_misses: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def fetch_to_commit_ratio(self) -> float:
+        """The paper's "all/committed" instruction ratio (>= 1)."""
+        if not self.committed_instructions:
+            return 0.0
+        return self.fetched_instructions / self.committed_instructions
+
+    @property
+    def committed_accuracy(self) -> float:
+        if not self.committed_branches:
+            return 0.0
+        return 1.0 - self.committed_mispredictions / self.committed_branches
+
+    @property
+    def all_accuracy(self) -> float:
+        if not self.fetched_branches:
+            return 0.0
+        return 1.0 - self.fetched_mispredictions / self.fetched_branches
+
+    @property
+    def ipc(self) -> float:
+        return self.committed_instructions / self.cycles if self.cycles else 0.0

@@ -1,0 +1,37 @@
+"""Bimodal (Smith) predictor: a PC-indexed table of 2-bit counters."""
+
+from __future__ import annotations
+
+from .base import BranchPredictor, Prediction
+from .counters import CounterTable
+
+
+class BimodalPredictor(BranchPredictor):
+    """The classic per-PC saturating-counter predictor (Smith 1981).
+
+    Also serves as the PC-indexed component of the McFarling combining
+    predictor.  No history is kept, so there is nothing to repair on a
+    misprediction.
+    """
+
+    name = "bimodal"
+
+    def __init__(self, table_size: int = 4096, counter_bits: int = 2):
+        self.table = CounterTable(table_size, bits=counter_bits)
+        self.counter_bits = counter_bits
+
+    def predict(self, pc: int) -> Prediction:
+        index = pc & self.table.index_mask
+        counter = self.table.values[index]
+        return Prediction(
+            taken=counter >= self.table.midpoint,
+            index=index,
+            history=0,
+            counters=(counter,),
+        )
+
+    def resolve(self, pc: int, taken: bool, prediction: Prediction) -> None:
+        self.table.update(prediction.index, taken)
+
+    def reset(self) -> None:
+        self.table = CounterTable(self.table.size, bits=self.table.bits)

@@ -1,0 +1,136 @@
+"""Saturating counters and counter tables.
+
+n-bit saturating up/down counters are the workhorse of both branch
+prediction (2-bit direction counters) and the JRS confidence estimator
+(4-bit miss distance counters).  :class:`SaturatingCounter` is the
+single-counter reference implementation used by tests and docs;
+:class:`CounterTable` is the array form the predictors use on their hot
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class SaturatingCounter:
+    """One n-bit saturating counter.
+
+    For 2-bit direction counters the usual interpretation applies:
+    values in the upper half predict taken, the extreme values are the
+    "strong" states used by the saturating-counters confidence
+    estimator (Smith 1981).
+    """
+
+    bits: int = 2
+    value: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("counter needs at least 1 bit")
+        if not 0 <= self.value <= self.max_value:
+            raise ValueError(f"initial value {self.value} outside range")
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def midpoint(self) -> int:
+        return 1 << (self.bits - 1)
+
+    def increment(self) -> None:
+        if self.value < self.max_value:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def update(self, taken: bool) -> None:
+        """Move toward taken (up) or not-taken (down)."""
+        if taken:
+            self.increment()
+        else:
+            self.decrement()
+
+    @property
+    def predict_taken(self) -> bool:
+        return self.value >= self.midpoint
+
+    @property
+    def is_strong(self) -> bool:
+        """True in the saturated (strongly biased) states."""
+        return self.value == 0 or self.value == self.max_value
+
+
+class CounterTable:
+    """A table of n-bit saturating counters stored as a flat int list.
+
+    The list is exposed (read-only by convention) as ``values`` because
+    predictors and estimators touch it on every branch; method-call
+    overhead there is the difference between a usable and an unusable
+    pure-Python simulator.
+    """
+
+    def __init__(self, size: int, bits: int = 2, initial: int = None):
+        if size < 1 or size & (size - 1):
+            raise ValueError(f"table size {size} must be a power of two")
+        if bits < 1:
+            raise ValueError("counter needs at least 1 bit")
+        self.size = size
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        self.midpoint = 1 << (bits - 1)
+        self.index_mask = size - 1
+        if initial is None:
+            initial = self.midpoint - 1  # weakly not-taken
+        if not 0 <= initial <= self.max_value:
+            raise ValueError(f"initial value {initial} outside range")
+        self.values: List[int] = [initial] * size
+
+    def read(self, index: int) -> int:
+        return self.values[index & self.index_mask]
+
+    def predict_taken(self, index: int) -> bool:
+        return self.values[index & self.index_mask] >= self.midpoint
+
+    def is_strong(self, index: int) -> bool:
+        value = self.values[index & self.index_mask]
+        return value == 0 or value == self.max_value
+
+    def update(self, index: int, taken: bool) -> None:
+        """Saturating move toward the observed direction."""
+        index &= self.index_mask
+        value = self.values[index]
+        if taken:
+            if value < self.max_value:
+                self.values[index] = value + 1
+        elif value > 0:
+            self.values[index] = value - 1
+
+    def increment(self, index: int) -> None:
+        index &= self.index_mask
+        if self.values[index] < self.max_value:
+            self.values[index] += 1
+
+    def reset(self, index: int) -> None:
+        self.values[index & self.index_mask] = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+
+def counter_is_strong(value: int, bits: int) -> bool:
+    """Strong-state test on a raw counter value (estimator helper)."""
+    return value == 0 or value == (1 << bits) - 1
+
+
+def counter_predicts_taken(value: int, bits: int) -> bool:
+    """Direction of a raw counter value (estimator helper)."""
+    return value >= (1 << (bits - 1))

@@ -1,0 +1,74 @@
+"""Branch history registers: global (speculative) and per-branch tables.
+
+The paper's gshare and McFarling predictors update their global history
+register *speculatively* -- the predicted direction is shifted in at
+prediction time -- and repair it when a misprediction is detected.  The
+repair needs the pre-branch history value, which every
+:class:`~repro.predictors.base.Prediction` snapshots, so recovery is a
+single assignment regardless of how many wrong-path branches polluted
+the register (this is exactly why speculative *global* history is cheap
+to implement while speculative *per-branch* history, as a SAg/PAs
+predictor would need, is not -- the point the paper makes in §3.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class GlobalHistory:
+    """An n-bit global branch history shift register."""
+
+    def __init__(self, bits: int):
+        if bits < 1:
+            raise ValueError("history needs at least 1 bit")
+        self.bits = bits
+        self.mask = (1 << bits) - 1
+        self.value = 0
+
+    def push(self, taken: bool) -> None:
+        """Shift a direction bit in (1 = taken)."""
+        self.value = ((self.value << 1) | (1 if taken else 0)) & self.mask
+
+    def set(self, value: int) -> None:
+        """Overwrite the register (misprediction repair)."""
+        self.value = value & self.mask
+
+    @staticmethod
+    def extend(value: int, taken: bool, mask: int) -> int:
+        """Pure form of :meth:`push` used for repair arithmetic."""
+        return ((value << 1) | (1 if taken else 0)) & mask
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GlobalHistory(bits={self.bits}, value={self.value:0{self.bits}b})"
+
+
+class LocalHistoryTable:
+    """Per-branch history registers (the BHT of a SAg predictor).
+
+    Tagless: branches whose PCs collide in the table alias each other's
+    histories, as the paper notes for SAg vs. PAs.  Updated
+    non-speculatively (at branch resolution) because rolling back
+    per-entry speculative updates would need multi-cycle repair or BHT
+    checkpointing (§3.1).
+    """
+
+    def __init__(self, entries: int, bits: int):
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError(f"entries {entries} must be a power of two")
+        if bits < 1:
+            raise ValueError("history needs at least 1 bit")
+        self.entries = entries
+        self.bits = bits
+        self.index_mask = entries - 1
+        self.history_mask = (1 << bits) - 1
+        self.values: List[int] = [0] * entries
+
+    def read(self, pc: int) -> int:
+        return self.values[pc & self.index_mask]
+
+    def push(self, pc: int, taken: bool) -> None:
+        index = pc & self.index_mask
+        self.values[index] = (
+            (self.values[index] << 1) | (1 if taken else 0)
+        ) & self.history_mask

@@ -1,0 +1,56 @@
+"""SAg two-level predictor: per-branch histories, shared counter table."""
+
+from __future__ import annotations
+
+from .base import BranchPredictor, Prediction
+from .counters import CounterTable
+from .history import LocalHistoryTable
+
+
+class SAgPredictor(BranchPredictor):
+    """Yeh & Patt's SAg (set/per-address history, global PHT).
+
+    The paper's third configuration: 2048 tagless branch-history
+    entries, 13-bit histories, 8192-entry shared PHT.  Histories are
+    updated **non-speculatively** -- only at branch resolution --
+    because rolling back speculative per-entry updates would require
+    multi-cycle repair or checkpointing the whole BHT (§3.1).
+
+    ``Prediction.history`` carries the branch's *local* pattern, which
+    is what the Lick et al. pattern-history confidence estimator keys
+    on (and why that estimator shines here and nowhere else).
+    """
+
+    name = "sag"
+
+    def __init__(
+        self,
+        history_entries: int = 2048,
+        history_bits: int = 13,
+        pht_size: int = 8192,
+        counter_bits: int = 2,
+    ):
+        self.bht = LocalHistoryTable(history_entries, history_bits)
+        self.pht = CounterTable(pht_size, bits=counter_bits)
+        self.counter_bits = counter_bits
+        self.history_bits = history_bits
+
+    def predict(self, pc: int) -> Prediction:
+        history_value = self.bht.read(pc)
+        index = history_value & self.pht.index_mask
+        counter = self.pht.values[index]
+        return Prediction(
+            taken=counter >= self.pht.midpoint,
+            index=index,
+            history=history_value,
+            counters=(counter,),
+            snapshot=None,  # nothing speculative to repair
+        )
+
+    def resolve(self, pc: int, taken: bool, prediction: Prediction) -> None:
+        self.pht.update(prediction.index, taken)
+        self.bht.push(pc, taken)
+
+    def reset(self) -> None:
+        self.bht = LocalHistoryTable(self.bht.entries, self.bht.bits)
+        self.pht = CounterTable(self.pht.size, bits=self.pht.bits)

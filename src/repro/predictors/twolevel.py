@@ -1,0 +1,203 @@
+"""Additional two-level predictors from the paper's context.
+
+The paper's comparison uses gshare, McFarling and SAg, but its
+discussion leans on the wider Yeh & Patt taxonomy:
+
+* **GAg** -- one global history register indexing the PHT directly
+  (no PC bits at all).  The simplest global two-level scheme; included
+  because gshare's advantage over it (PC XOR folds in site identity)
+  is part of why estimator/predictor *structural match* matters.
+* **gselect** -- concatenate low PC bits with global history bits to
+  form the PHT index (McFarling's paper compares gshare against this).
+* **PAs** -- the *tagged* per-address scheme Lick et al. built their
+  pattern-history confidence estimator on.  Unlike the tagless SAg, a
+  BTB-style tag array means a branch only sees its own history; on a
+  tag miss the entry is (re)allocated, evicting a colliding branch.
+
+All three follow the same resolve-time-update discipline as SAg
+(per-branch history cannot be speculatively repaired cheaply; GAg and
+gselect use speculative global history with snapshot repair, like
+gshare).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import BranchPredictor, Prediction
+from .counters import CounterTable
+from .history import GlobalHistory, LocalHistoryTable
+
+
+class GAgPredictor(BranchPredictor):
+    """Global history -> shared PHT, no PC bits in the index."""
+
+    name = "gag"
+
+    def __init__(
+        self,
+        history_bits: int = 12,
+        counter_bits: int = 2,
+        speculative_history: bool = True,
+    ):
+        self.pht = CounterTable(1 << history_bits, bits=counter_bits)
+        self.history = GlobalHistory(history_bits)
+        self.counter_bits = counter_bits
+        self.speculative_history = speculative_history
+
+    def predict(self, pc: int) -> Prediction:
+        history_value = self.history.value
+        counter = self.pht.values[history_value]
+        taken = counter >= self.pht.midpoint
+        prediction = Prediction(
+            taken=taken,
+            index=history_value,
+            history=history_value,
+            counters=(counter,),
+            snapshot=history_value,
+        )
+        if self.speculative_history:
+            self.history.push(taken)
+        return prediction
+
+    def resolve(self, pc: int, taken: bool, prediction: Prediction) -> None:
+        self.pht.update(prediction.index, taken)
+        if self.speculative_history:
+            if taken != prediction.taken:
+                self.history.set(
+                    GlobalHistory.extend(prediction.snapshot, taken, self.history.mask)
+                )
+        else:
+            self.history.push(taken)
+
+    def reset(self) -> None:
+        self.pht = CounterTable(self.pht.size, bits=self.pht.bits)
+        self.history = GlobalHistory(self.history.bits)
+
+
+class GselectPredictor(BranchPredictor):
+    """Concatenated PC/history index (McFarling's gselect)."""
+
+    name = "gselect"
+
+    def __init__(
+        self,
+        table_size: int = 4096,
+        history_bits: int = 6,
+        counter_bits: int = 2,
+        speculative_history: bool = True,
+    ):
+        self.table = CounterTable(table_size, bits=counter_bits)
+        index_bits = table_size.bit_length() - 1
+        if history_bits >= index_bits:
+            raise ValueError(
+                f"history_bits={history_bits} leaves no PC bits in a "
+                f"{table_size}-entry table"
+            )
+        self.history = GlobalHistory(history_bits)
+        self.pc_bits = index_bits - history_bits
+        self.counter_bits = counter_bits
+        self.speculative_history = speculative_history
+
+    def _index(self, pc: int, history_value: int) -> int:
+        pc_part = pc & ((1 << self.pc_bits) - 1)
+        return ((history_value << self.pc_bits) | pc_part) & self.table.index_mask
+
+    def predict(self, pc: int) -> Prediction:
+        history_value = self.history.value
+        index = self._index(pc, history_value)
+        counter = self.table.values[index]
+        taken = counter >= self.table.midpoint
+        prediction = Prediction(
+            taken=taken,
+            index=index,
+            history=history_value,
+            counters=(counter,),
+            snapshot=history_value,
+        )
+        if self.speculative_history:
+            self.history.push(taken)
+        return prediction
+
+    def resolve(self, pc: int, taken: bool, prediction: Prediction) -> None:
+        self.table.update(prediction.index, taken)
+        if self.speculative_history:
+            if taken != prediction.taken:
+                self.history.set(
+                    GlobalHistory.extend(prediction.snapshot, taken, self.history.mask)
+                )
+        else:
+            self.history.push(taken)
+
+    def reset(self) -> None:
+        self.table = CounterTable(self.table.size, bits=self.table.bits)
+        self.history = GlobalHistory(self.history.bits)
+
+
+class PAsPredictor(BranchPredictor):
+    """Tagged per-address two-level predictor (Lick et al.'s substrate).
+
+    A direct-mapped, tagged branch history table: each entry holds
+    (tag, local history).  On a tag miss the entry is reallocated with
+    an empty history -- so unlike SAg, histories never alias, they get
+    *evicted*.  The PHT is shared, indexed by the local history (an
+    "s"-style second level keyed purely on the pattern).
+    """
+
+    name = "pas"
+
+    def __init__(
+        self,
+        history_entries: int = 1024,
+        history_bits: int = 10,
+        pht_size: int = 4096,
+        counter_bits: int = 2,
+    ):
+        if history_entries < 1 or history_entries & (history_entries - 1):
+            raise ValueError("history_entries must be a power of two")
+        self.history_entries = history_entries
+        self.history_bits = history_bits
+        self.index_mask = history_entries - 1
+        self.history_mask = (1 << history_bits) - 1
+        self.tags: List[Optional[int]] = [None] * history_entries
+        self.histories: List[int] = [0] * history_entries
+        self.pht = CounterTable(pht_size, bits=counter_bits)
+        self.counter_bits = counter_bits
+        self.evictions = 0
+
+    def _lookup(self, pc: int) -> int:
+        """Local history of ``pc`` (0 if the entry belongs to another)."""
+        index = pc & self.index_mask
+        if self.tags[index] == pc:
+            return self.histories[index]
+        return 0
+
+    def predict(self, pc: int) -> Prediction:
+        history_value = self._lookup(pc)
+        index = history_value & self.pht.index_mask
+        counter = self.pht.values[index]
+        return Prediction(
+            taken=counter >= self.pht.midpoint,
+            index=index,
+            history=history_value,
+            counters=(counter,),
+            snapshot=None,  # non-speculative local histories
+        )
+
+    def resolve(self, pc: int, taken: bool, prediction: Prediction) -> None:
+        self.pht.update(prediction.index, taken)
+        entry = pc & self.index_mask
+        if self.tags[entry] != pc:
+            if self.tags[entry] is not None:
+                self.evictions += 1
+            self.tags[entry] = pc
+            self.histories[entry] = 0
+        self.histories[entry] = (
+            (self.histories[entry] << 1) | (1 if taken else 0)
+        ) & self.history_mask
+
+    def reset(self) -> None:
+        self.tags = [None] * self.history_entries
+        self.histories = [0] * self.history_entries
+        self.pht = CounterTable(self.pht.size, bits=self.pht.bits)
+        self.evictions = 0

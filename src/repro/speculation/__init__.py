@@ -1,0 +1,35 @@
+"""Speculation-control applications built on confidence estimation."""
+
+from .dualpath import (
+    EagerComparison,
+    EagerPipelineSimulator,
+    compare_eager_execution,
+)
+from .eager import EagerOutcome, evaluate_eager_execution
+from .gating import (
+    GatedPipelineSimulator,
+    GatingComparison,
+    compare_gating,
+    count_low_confidence_inflight,
+)
+from .inversion import InversionResult, InvertingPredictor, evaluate_inversion
+from .smt import POLICIES, SMTResult, SMTSimulator, compare_policies
+
+__all__ = [
+    "EagerComparison",
+    "EagerPipelineSimulator",
+    "compare_eager_execution",
+    "EagerOutcome",
+    "evaluate_eager_execution",
+    "GatedPipelineSimulator",
+    "GatingComparison",
+    "compare_gating",
+    "count_low_confidence_inflight",
+    "InversionResult",
+    "InvertingPredictor",
+    "evaluate_inversion",
+    "POLICIES",
+    "SMTResult",
+    "SMTSimulator",
+    "compare_policies",
+]

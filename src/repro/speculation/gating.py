@@ -1,0 +1,153 @@
+"""Pipeline gating for power conservation (paper §2.2, reference [11]).
+
+The companion application the authors describe (Manne et al., "Pipeline
+Gating: Speculation Control for Energy Reduction"): stop fetching when
+the number of *unresolved low-confidence branches* in flight exceeds a
+gating threshold.  Wrong-path instructions cost energy but can never
+help performance, so a good estimator (high SPEC to catch most
+mispredictions, decent PVN to avoid false alarms) trades a tiny
+slowdown for a large cut in wasted (squashed) work.
+
+:class:`GatedPipelineSimulator` implements the mechanism on top of the
+speculative pipeline; :func:`compare_gating` runs gated vs. ungated
+configurations and reports the paper's figures of merit: extra-work
+reduction and performance loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from ..confidence.base import ConfidenceEstimator
+from ..isa import Program
+from ..pipeline.config import PipelineConfig
+from ..pipeline.core import PipelineResult, PipelineSimulator
+from ..predictors.base import BranchPredictor
+
+
+def count_low_confidence_inflight(simulator: PipelineSimulator, name: str) -> int:
+    """Unresolved branches currently tagged low-confidence by ``name``."""
+    count = 0
+    for entry in simulator._inflight:
+        if not entry.is_branch:
+            continue
+        for estimator_name, __, assessment in entry.assessments:
+            if estimator_name == name and not assessment.high_confidence:
+                count += 1
+                break
+    return count
+
+
+class GatedPipelineSimulator(PipelineSimulator):
+    """Pipeline whose front end gates on low-confidence branch count.
+
+    Fetch is suppressed in any cycle where more than ``gate_threshold``
+    unresolved low-confidence branches (as judged by the estimator
+    named ``gate_on``) are in flight.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        predictor: BranchPredictor,
+        config: PipelineConfig = None,
+        estimators: Mapping[str, ConfidenceEstimator] = None,
+        gate_on: str = None,
+        gate_threshold: int = 1,
+    ):
+        super().__init__(program, predictor, config=config, estimators=estimators)
+        if gate_on is None or gate_on not in self.estimators:
+            raise ValueError(
+                f"gate_on must name one of the attached estimators, got {gate_on!r}"
+            )
+        if gate_threshold < 1:
+            raise ValueError("gate_threshold must be >= 1")
+        self.gate_on = gate_on
+        self.gate_threshold = gate_threshold
+        self.gated_cycles = 0
+
+    def _fetch_stage(self) -> None:
+        if (
+            count_low_confidence_inflight(self, self.gate_on)
+            >= self.gate_threshold
+        ):
+            self.gated_cycles += 1
+            return
+        super()._fetch_stage()
+
+
+@dataclass(frozen=True)
+class GatingComparison:
+    """Gated vs. ungated run of the same program/predictor/estimator."""
+
+    baseline: PipelineResult
+    gated: PipelineResult
+    gated_cycles: int
+
+    @property
+    def baseline_extra_work(self) -> float:
+        """Squashed (wasted) fraction of fetched instructions, ungated."""
+        stats = self.baseline.stats
+        if not stats.fetched_instructions:
+            return 0.0
+        return stats.squashed_instructions / stats.fetched_instructions
+
+    @property
+    def gated_extra_work(self) -> float:
+        stats = self.gated.stats
+        if not stats.fetched_instructions:
+            return 0.0
+        return stats.squashed_instructions / stats.fetched_instructions
+
+    @property
+    def extra_work_reduction(self) -> float:
+        """Relative cut in squashed instructions (the power win)."""
+        base = self.baseline.stats.squashed_instructions
+        if not base:
+            return 0.0
+        return 1.0 - self.gated.stats.squashed_instructions / base
+
+    @property
+    def slowdown(self) -> float:
+        """Relative increase in cycles to complete the same work."""
+        base = self.baseline.stats.cycles
+        if not base:
+            return 0.0
+        return self.gated.stats.cycles / base - 1.0
+
+
+def compare_gating(
+    program: Program,
+    predictor_factory: Callable[[], BranchPredictor],
+    estimator_factory: Callable[[BranchPredictor], ConfidenceEstimator],
+    gate_threshold: int = 1,
+    config: PipelineConfig = None,
+    max_instructions: Optional[int] = None,
+) -> GatingComparison:
+    """Run the same workload gated and ungated and compare.
+
+    Factories are used (rather than instances) because the two runs
+    need independent predictor/estimator state.
+    """
+    baseline_predictor = predictor_factory()
+    baseline = PipelineSimulator(
+        program,
+        baseline_predictor,
+        config=config,
+        estimators={"gate": estimator_factory(baseline_predictor)},
+    ).run(max_instructions=max_instructions)
+
+    gated_predictor = predictor_factory()
+    gated_simulator = GatedPipelineSimulator(
+        program,
+        gated_predictor,
+        config=config,
+        estimators={"gate": estimator_factory(gated_predictor)},
+        gate_on="gate",
+        gate_threshold=gate_threshold,
+    )
+    gated = gated_simulator.run(max_instructions=max_instructions)
+    return GatingComparison(
+        baseline=baseline, gated=gated, gated_cycles=gated_simulator.gated_cycles
+    )

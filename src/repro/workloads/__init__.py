@@ -1,0 +1,42 @@
+"""Synthetic SPECint95-like workload substrate."""
+
+from .generator import (
+    GuardSpec,
+    ProgramBuilder,
+    WorkloadProfile,
+    generate_program,
+    generate_source,
+)
+from .profiles import SUITE, all_profiles, get_profile
+from .sites import (
+    AlternatingSite,
+    BiasedSite,
+    BranchSite,
+    CorrelatedSite,
+    LoopSite,
+    PatternSite,
+    SwitchSite,
+    WalkSite,
+)
+from .trace import BranchTrace, convert_text_trace
+
+__all__ = [
+    "GuardSpec",
+    "ProgramBuilder",
+    "WorkloadProfile",
+    "generate_program",
+    "generate_source",
+    "SUITE",
+    "all_profiles",
+    "get_profile",
+    "AlternatingSite",
+    "BiasedSite",
+    "BranchSite",
+    "CorrelatedSite",
+    "LoopSite",
+    "PatternSite",
+    "SwitchSite",
+    "WalkSite",
+    "BranchTrace",
+    "convert_text_trace",
+]

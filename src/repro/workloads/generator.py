@@ -1,0 +1,192 @@
+"""Profile-driven synthetic workload generator.
+
+Turns a :class:`WorkloadProfile` (a statistical description of a
+benchmark's branch population) into a real, runnable assembly program:
+an outer loop that advances a program-internal LCG and visits every
+branch site once per iteration, optionally through subroutine calls and
+behind data-dependent guards.
+
+The generated text is fed through the ordinary assembler, so workloads
+exercise exactly the path a user porting their own kernels would use.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa import Program, assemble
+from .sites import FIELD_RANGE, BranchSite
+
+#: LCG constants (Numerical Recipes); full-period mod 2^32.
+LCG_MULTIPLIER = 1664525
+LCG_INCREMENT = 1013904223
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """Optional data-dependent guard around a site block.
+
+    The guard itself is a conditional branch (taken = skip the block)
+    with bias ``1 - threshold/1024``; guarded blocks make the global
+    path, and therefore the history register contents, vary from
+    iteration to iteration as it does in irregular integer code.
+    """
+
+    field_shift: int
+    threshold: int
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical description of one synthetic benchmark.
+
+    ``sites`` are visited in order once per outer-loop iteration
+    (unless guarded).  ``guards`` maps site index -> :class:`GuardSpec`.
+    """
+
+    name: str
+    description: str
+    sites: Tuple[BranchSite, ...]
+    guards: Dict[int, GuardSpec] = field(default_factory=dict)
+    #: Group sites into subroutines of this many blocks (0 = inline).
+    subroutine_group: int = 0
+    #: Seed for the program-internal LCG.
+    lcg_seed: int = 0x2545F491
+    #: Seed for generator-side randomness (array contents).
+    data_seed: int = 12345
+    #: Default outer-loop iteration count.
+    default_iterations: int = 300
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            raise ValueError("profile needs at least one branch site")
+        for index in self.guards:
+            if not 0 <= index < len(self.sites):
+                raise ValueError(f"guard index {index} out of range")
+
+
+class ProgramBuilder:
+    """Accumulates code and data while sites emit their blocks."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self._label_counter = 0
+        self._data_lines: List[str] = []
+        self._data_labels: set = set()
+
+    def fresh_label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}_{self._label_counter}"
+
+    def add_data_table(self, label: str, words: Sequence[int]) -> str:
+        """Add a labelled table of words to the data segment."""
+        if label in self._data_labels:
+            raise ValueError(f"duplicate data label {label!r}")
+        self._data_labels.add(label)
+        rendered = ", ".join(str(word) for word in words)
+        self._data_lines.append(f"{label}: .word {rendered}")
+        return label
+
+    def add_data_table_of_labels(self, label: str, names: Sequence[str]) -> str:
+        """Add a jump table: a labelled array of code-label addresses."""
+        if label in self._data_labels:
+            raise ValueError(f"duplicate data label {label!r}")
+        self._data_labels.add(label)
+        rendered = ", ".join(names)
+        self._data_lines.append(f"{label}: .word {rendered}")
+        return label
+
+    def add_random_array(self, label: str, words: int) -> str:
+        """Add an array of seeded-random values in [0, FIELD_RANGE)."""
+        values = [self._rng.randrange(FIELD_RANGE) for __ in range(words)]
+        return self.add_data_table(label, values)
+
+    @staticmethod
+    def emit_lcg_advance() -> List[str]:
+        """Step the program-internal LCG held in r20 (multiplier in r21)."""
+        return [
+            "mul r20, r20, r21",
+            f"addi r20, r20, {LCG_INCREMENT}",
+        ]
+
+    @property
+    def data_lines(self) -> List[str]:
+        return list(self._data_lines)
+
+
+def generate_source(
+    profile: WorkloadProfile, iterations: Optional[int] = None
+) -> str:
+    """Render ``profile`` as assembly source text."""
+    iterations = profile.default_iterations if iterations is None else iterations
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    builder = ProgramBuilder(random.Random(profile.data_seed))
+
+    blocks: List[List[str]] = []
+    for index, site in enumerate(profile.sites):
+        block = site.emit(builder, index)
+        guard = profile.guards.get(index)
+        if guard is not None:
+            skip = builder.fresh_label(f"guard{index}_skip")
+            block = (
+                [
+                    f"srli r1, r20, {guard.field_shift}",
+                    f"andi r1, r1, {FIELD_RANGE - 1}",
+                    f"li r2, {guard.threshold}",
+                    f"bge r1, r2, {skip}",
+                ]
+                + block
+                + [f"{skip}:"]
+            )
+        blocks.append(block)
+
+    body: List[str] = []
+    subroutines: List[str] = []
+    group = profile.subroutine_group
+    if group > 0:
+        for group_index in range(0, len(blocks), group):
+            name = f"sub_{group_index // group}"
+            body.append(f"jal {name}")
+            subroutines.append(f"{name}:")
+            for block in blocks[group_index : group_index + group]:
+                subroutines.extend(block)
+            subroutines.append("jr r31")
+    else:
+        for block in blocks:
+            body.extend(block)
+
+    lines: List[str] = [
+        f"; synthetic workload '{profile.name}': {profile.description}",
+        ".text",
+        "start:",
+        f"li r20, {profile.lcg_seed}",
+        f"li r21, {LCG_MULTIPLIER}",
+        f"li r10, {iterations}",
+        "main_loop:",
+    ]
+    lines.extend(ProgramBuilder.emit_lcg_advance())
+    lines.extend(body)
+    lines.extend(
+        [
+            "addi r10, r10, -1",
+            "bne r10, r0, main_loop",
+            "halt",
+        ]
+    )
+    lines.extend(subroutines)
+    data_lines = builder.data_lines
+    if data_lines:
+        lines.append(".data")
+        lines.extend(data_lines)
+    return "\n".join(lines) + "\n"
+
+
+def generate_program(
+    profile: WorkloadProfile, iterations: Optional[int] = None
+) -> Program:
+    """Generate and assemble ``profile`` into a runnable program."""
+    source = generate_source(profile, iterations)
+    return assemble(source, name=profile.name)

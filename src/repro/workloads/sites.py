@@ -1,0 +1,376 @@
+"""Branch-site behaviour models for the synthetic workload generator.
+
+The paper's evaluation runs SPECint95; what the confidence-estimation
+results actually depend on is the *statistical character of the branch
+stream*: how many static sites exist, how biased each is, how outcomes
+correlate with global/local history, and how much wrong-path code a
+misprediction exposes.  Each class below describes one static branch
+site's behaviour and knows how to emit real ISA code for it, so the
+generated workloads are ordinary executable programs rather than traces.
+
+Site kinds and the predictor behaviour they induce:
+
+``BiasedSite``
+    Branch on a pseudo-random bit-field (program-internal LCG) compared
+    against a threshold.  Predictable only up to its bias -- this is the
+    "hard" population that creates mispredictions.
+``CorrelatedSite``
+    Re-uses the bit-field of an *earlier* site in the same iteration
+    with a different threshold: its outcome is (partially) implied by a
+    branch already in the global history, so two-level predictors beat
+    bimodal ones here, as on real integer code.
+``PatternSite``
+    Deterministic repeating taken/not-taken pattern read from a data
+    table.  Learnable by history-based predictors; also the population
+    the Lick et al. pattern-history confidence estimator keys on.
+``LoopSite``
+    An inner counted loop; its backward branch is taken ``trip-1``
+    times then falls through.  Trip counts may be fixed or drawn from
+    the LCG, modelling for-loops with data-dependent bounds.
+``AlternatingSite``
+    Strict T/N/T/N alternation -- the classic two-bit-counter killer
+    that two-level predictors learn perfectly.
+``WalkSite``
+    Strides through a large pre-initialised random array and branches
+    on the loaded value; adds data-cache traffic and a second source of
+    hard-to-predict outcomes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .generator import ProgramBuilder
+
+#: Width (bits) of the pseudo-random field sites extract from the LCG.
+FIELD_BITS = 10
+FIELD_RANGE = 1 << FIELD_BITS
+
+#: LCG shifts below this reuse low-entropy LCG bits; sites must not.
+MIN_FIELD_SHIFT = 12
+MAX_FIELD_SHIFT = 21
+
+
+class BranchSite(abc.ABC):
+    """One static conditional-branch site of a synthetic workload."""
+
+    @abc.abstractmethod
+    def emit(self, builder: "ProgramBuilder", index: int) -> List[str]:
+        """Emit the assembly block realising this site.
+
+        ``index`` is the site's position in the profile (used to make
+        labels unique).  Returns a list of assembly source lines.
+        """
+
+    def data_words(self) -> int:
+        """Approximate data-segment footprint, for documentation."""
+        return 0
+
+
+def _check_shift(shift: int) -> int:
+    if not MIN_FIELD_SHIFT <= shift <= MAX_FIELD_SHIFT:
+        raise ValueError(
+            f"field shift {shift} outside safe LCG bit range "
+            f"[{MIN_FIELD_SHIFT}, {MAX_FIELD_SHIFT}]"
+        )
+    return shift
+
+
+def _check_threshold(threshold: int) -> int:
+    if not 0 <= threshold <= FIELD_RANGE:
+        raise ValueError(f"threshold {threshold} outside [0, {FIELD_RANGE}]")
+    return threshold
+
+
+@dataclass(frozen=True)
+class BiasedSite(BranchSite):
+    """Taken iff a fresh pseudo-random field is below ``threshold``.
+
+    ``threshold / 1024`` is the taken bias.  With ``advance_lcg`` the
+    site steps the LCG before extracting its field, decorrelating it
+    from every other site (used for "go"-like chaotic branches).
+    """
+
+    threshold: int
+    field_shift: int = 14
+    advance_lcg: bool = False
+
+    def __post_init__(self) -> None:
+        _check_threshold(self.threshold)
+        _check_shift(self.field_shift)
+
+    def emit(self, builder: "ProgramBuilder", index: int) -> List[str]:
+        lines: List[str] = []
+        if self.advance_lcg:
+            lines.extend(builder.emit_lcg_advance())
+        skip = builder.fresh_label(f"bias{index}_nt")
+        lines.extend(
+            [
+                f"srli r1, r20, {self.field_shift}",
+                f"andi r1, r1, {FIELD_RANGE - 1}",
+                f"li r2, {self.threshold}",
+                f"bge r1, r2, {skip}",
+                "addi r9, r9, 1",  # taken-path work
+                f"{skip}:",
+            ]
+        )
+        return lines
+
+
+@dataclass(frozen=True)
+class CorrelatedSite(BranchSite):
+    """Biased site that *shares* its field with an earlier site.
+
+    Pass the same ``field_shift`` as the earlier site (and do not
+    advance the LCG in between): when ``threshold`` equals the earlier
+    site's, the outcome repeats exactly; otherwise the earlier outcome
+    bounds this one, giving the partial correlation history-based
+    predictors exploit on real code.
+    """
+
+    threshold: int
+    field_shift: int
+
+    def __post_init__(self) -> None:
+        _check_threshold(self.threshold)
+        _check_shift(self.field_shift)
+
+    def emit(self, builder: "ProgramBuilder", index: int) -> List[str]:
+        skip = builder.fresh_label(f"corr{index}_nt")
+        return [
+            f"srli r1, r20, {self.field_shift}",
+            f"andi r1, r1, {FIELD_RANGE - 1}",
+            f"li r2, {self.threshold}",
+            f"bge r1, r2, {skip}",
+            "addi r9, r9, 3",
+            f"{skip}:",
+        ]
+
+
+@dataclass(frozen=True)
+class PatternSite(BranchSite):
+    """Deterministic repeating taken(1)/not-taken(0) pattern."""
+
+    pattern: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise ValueError("pattern must be non-empty")
+        if any(bit not in (0, 1) for bit in self.pattern):
+            raise ValueError("pattern entries must be 0 or 1")
+
+    def data_words(self) -> int:
+        return len(self.pattern) + 1  # table + cursor
+
+    def emit(self, builder: "ProgramBuilder", index: int) -> List[str]:
+        table = builder.add_data_table(f"pat{index}", list(self.pattern))
+        cursor = builder.add_data_table(f"pat{index}_cur", [0])
+        wrap = builder.fresh_label(f"pat{index}_wrap")
+        skip = builder.fresh_label(f"pat{index}_nt")
+        return [
+            f"la r3, {cursor}",
+            "lw r1, 0(r3)",  # cursor value
+            f"la r4, {table}",
+            "add r4, r4, r1",
+            "lw r2, 0(r4)",  # pattern bit for this visit
+            "addi r1, r1, 1",
+            f"li r5, {len(self.pattern)}",
+            f"blt r1, r5, {wrap}",  # cursor wrap branch (loop-like)
+            "add r1, r0, r0",
+            f"{wrap}:",
+            "sw r1, 0(r3)",
+            f"bne r2, r0, {skip}",  # the pattern branch: taken iff bit == 1
+            "addi r9, r9, 5",
+            f"{skip}:",
+        ]
+
+
+@dataclass(frozen=True)
+class LoopSite(BranchSite):
+    """Inner counted loop; back-branch taken ``trip-1`` times per visit.
+
+    With ``trip_max > trip_min`` the trip count is LCG-modulated, which
+    makes the final not-taken occurrence hard to pin down -- the classic
+    loop-exit misprediction.
+    """
+
+    trip_min: int
+    trip_max: int
+    field_shift: int = 16
+
+    def __post_init__(self) -> None:
+        if self.trip_min < 1 or self.trip_max < self.trip_min:
+            raise ValueError("need 1 <= trip_min <= trip_max")
+        _check_shift(self.field_shift)
+
+    def emit(self, builder: "ProgramBuilder", index: int) -> List[str]:
+        head = builder.fresh_label(f"loop{index}_head")
+        lines = [f"li r6, {self.trip_min}"]
+        spread = self.trip_max - self.trip_min
+        if spread:
+            mask = _next_pow2_mask(spread)
+            lines.extend(
+                [
+                    f"srli r1, r20, {self.field_shift}",
+                    f"andi r1, r1, {mask}",
+                    f"li r2, {spread + 1}",
+                    # r1 mod (spread+1) via conditional subtract (mask < 2*(spread+1))
+                    f"blt r1, r2, {head}_nosub",
+                    "sub r1, r1, r2",
+                    f"{head}_nosub:",
+                    "add r6, r6, r1",
+                ]
+            )
+        lines.extend(
+            [
+                f"{head}:",
+                "addi r9, r9, 1",  # loop body work
+                "addi r6, r6, -1",
+                f"bne r6, r0, {head}",
+            ]
+        )
+        return lines
+
+
+@dataclass(frozen=True)
+class AlternatingSite(BranchSite):
+    """Outcome strictly alternates taken / not-taken across visits."""
+
+    def data_words(self) -> int:
+        return 1
+
+    def emit(self, builder: "ProgramBuilder", index: int) -> List[str]:
+        cell = builder.add_data_table(f"alt{index}", [0])
+        skip = builder.fresh_label(f"alt{index}_nt")
+        return [
+            f"la r3, {cell}",
+            "lw r1, 0(r3)",
+            "xori r1, r1, 1",
+            "sw r1, 0(r3)",
+            f"beq r1, r0, {skip}",
+            "addi r9, r9, 7",
+            f"{skip}:",
+        ]
+
+
+@dataclass(frozen=True)
+class WalkSite(BranchSite):
+    """Stride through a random array; branch on the loaded value.
+
+    The array is filled by the generator's seeded RNG with values in
+    ``[0, 1024)``; the branch is taken iff the value is below
+    ``threshold``.  Large arrays also produce data-cache misses in the
+    pipeline model, perturbing branch-resolution timing as real loads do.
+    """
+
+    array_words: int
+    stride: int
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.array_words < 1:
+            raise ValueError("array_words must be >= 1")
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        _check_threshold(self.threshold)
+
+    def data_words(self) -> int:
+        return self.array_words + 1
+
+    def emit(self, builder: "ProgramBuilder", index: int) -> List[str]:
+        array = builder.add_random_array(f"walk{index}", self.array_words)
+        cursor = builder.add_data_table(f"walk{index}_cur", [0])
+        wrap = builder.fresh_label(f"walk{index}_wrap")
+        skip = builder.fresh_label(f"walk{index}_nt")
+        return [
+            f"la r3, {cursor}",
+            "lw r1, 0(r3)",
+            f"la r4, {array}",
+            "add r4, r4, r1",
+            "lw r2, 0(r4)",  # array value
+            f"addi r1, r1, {self.stride}",
+            f"li r5, {self.array_words}",
+            f"blt r1, r5, {wrap}",
+            "sub r1, r1, r5",
+            f"{wrap}:",
+            "sw r1, 0(r3)",
+            f"li r5, {self.threshold}",
+            f"bge r2, r5, {skip}",
+            "addi r9, r9, 11",
+            f"{skip}:",
+        ]
+
+
+@dataclass(frozen=True)
+class SwitchSite(BranchSite):
+    """Computed multi-way dispatch through a jump table (``jr``).
+
+    Models interpreter/compiler dispatch: a pseudo-random case selector
+    indexes a table of code addresses and an indirect jump lands in one
+    of ``cases`` bodies.  The dispatch itself is an *unconditional*
+    indirect jump, so it does not enter the conditional-branch
+    statistics -- its value is control-flow realism: a wrong path that
+    reaches the dispatch with stale registers flies off to an arbitrary
+    case (or out of the program), exactly the front-end behaviour that
+    makes real wrong paths interesting.  Each case body ends with a
+    biased conditional branch so the dispatch also diversifies the
+    global history.
+    """
+
+    cases: int
+    field_shift: int = 15
+    threshold: int = 720
+
+    def __post_init__(self) -> None:
+        if self.cases < 2 or self.cases & (self.cases - 1):
+            raise ValueError("cases must be a power of two >= 2")
+        if self.cases > 16:
+            raise ValueError("at most 16 cases supported")
+        _check_shift(self.field_shift)
+        _check_threshold(self.threshold)
+
+    def data_words(self) -> int:
+        return self.cases
+
+    def emit(self, builder: "ProgramBuilder", index: int) -> List[str]:
+        case_labels = [
+            builder.fresh_label(f"sw{index}_case{case}") for case in range(self.cases)
+        ]
+        table = builder.add_data_table_of_labels(f"sw{index}_tab", case_labels)
+        merge = builder.fresh_label(f"sw{index}_merge")
+        lines = [
+            f"srli r1, r20, {self.field_shift}",
+            f"andi r1, r1, {self.cases - 1}",
+            f"la r3, {table}",
+            "add r3, r3, r1",
+            "lw r2, 0(r3)",
+            "jr r2",
+        ]
+        for case, label in enumerate(case_labels):
+            skip = builder.fresh_label(f"sw{index}_c{case}_nt")
+            lines.extend(
+                [
+                    f"{label}:",
+                    f"addi r9, r9, {case + 1}",
+                    f"srli r1, r20, {(self.field_shift + 3 + case) % (MAX_FIELD_SHIFT - MIN_FIELD_SHIFT + 1) + MIN_FIELD_SHIFT}",
+                    f"andi r1, r1, {FIELD_RANGE - 1}",
+                    f"li r2, {self.threshold}",
+                    f"bge r1, r2, {skip}",
+                    f"addi r9, r9, {13 + case}",
+                    f"{skip}:",
+                    f"j {merge}",
+                ]
+            )
+        lines.append(f"{merge}:")
+        return lines
+
+
+def _next_pow2_mask(value: int) -> int:
+    """Smallest ``2^k - 1`` mask covering ``value``."""
+    mask = 1
+    while mask < value:
+        mask = (mask << 1) | 1
+    return mask

@@ -1,0 +1,54 @@
+"""Shared fixtures: small, cached workload runs for fast tests."""
+
+import pytest
+
+from repro.engine import trace_branches, workload_program
+from repro.isa import assemble
+
+#: Iteration count used by the test-scale workload runs.
+TEST_ITERATIONS = 60
+
+
+@pytest.fixture(scope="session")
+def compress_program():
+    return workload_program("compress", TEST_ITERATIONS)
+
+
+@pytest.fixture(scope="session")
+def compress_trace(compress_program):
+    return trace_branches(compress_program).trace
+
+
+@pytest.fixture(scope="session")
+def gcc_trace():
+    return trace_branches(workload_program("gcc", TEST_ITERATIONS)).trace
+
+
+@pytest.fixture()
+def tiny_loop_program():
+    """A hand-written 10-iteration counted loop (1 branch site)."""
+    return assemble(
+        """
+        start:  li r1, 10
+        loop:   addi r2, r2, 1
+                addi r1, r1, -1
+                bne r1, r0, loop
+                halt
+        """
+    )
+
+
+@pytest.fixture()
+def alternating_program():
+    """A branch that alternates taken/not-taken for 40 visits."""
+    return assemble(
+        """
+        start:  li r1, 40
+        loop:   xori r3, r3, 1
+                beq r3, r0, skip
+                addi r4, r4, 1
+        skip:   addi r1, r1, -1
+                bne r1, r0, loop
+                halt
+        """
+    )

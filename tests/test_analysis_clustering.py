@@ -1,0 +1,68 @@
+"""Tests for mis-estimation clustering and boosting measurement."""
+
+import pytest
+
+from repro.analysis import measure_boosting, misestimation_distance
+from repro.confidence import JRSEstimator, boosted_pvn
+from repro.predictors import GsharePredictor
+
+
+class TestMisestimationDistance:
+    def test_curve_covers_all_branches(self, compress_trace):
+        curve = misestimation_distance(
+            compress_trace, GsharePredictor(), JRSEstimator(threshold=15)
+        )
+        assert curve.total_branches == len(compress_trace)
+
+    def test_misestimation_definition(self):
+        """On a perfectly predicted trace with an always-LC estimator,
+        every branch is mis-estimated (LC but correct)."""
+        trace = [(1, True)] * 64
+        # JRS threshold 16 is unreachable: always low confidence
+        curve = misestimation_distance(
+            trace,
+            GsharePredictor(table_size=64, history_bits=4),
+            JRSEstimator(table_size=64, threshold=16),
+        )
+        # once the predictor warms up every branch is correct yet LC
+        assert curve.buckets[0].misprediction_rate > 0.9
+
+
+class TestMeasureBoosting:
+    def test_results_for_each_k(self, compress_trace):
+        results = measure_boosting(
+            compress_trace,
+            GsharePredictor(),
+            JRSEstimator(threshold=15),
+            ks=[1, 2, 3],
+        )
+        assert [result.k for result in results] == [1, 2, 3]
+        # larger windows mean fewer qualifying events
+        assert results[0].events >= results[1].events >= results[2].events
+
+    def test_k1_empirical_equals_base_pvn(self, compress_trace):
+        (result,) = measure_boosting(
+            compress_trace, GsharePredictor(), JRSEstimator(threshold=15), ks=[1]
+        )
+        assert result.empirical_pvn == pytest.approx(result.base_pvn)
+        assert result.analytic_pvn == pytest.approx(result.base_pvn)
+
+    def test_boosting_raises_pvn(self, compress_trace):
+        results = measure_boosting(
+            compress_trace,
+            GsharePredictor(),
+            JRSEstimator(threshold=15),
+            ks=[1, 2],
+        )
+        assert results[1].empirical_pvn > results[0].empirical_pvn
+
+    def test_empirical_tracks_bernoulli_model(self, gcc_trace):
+        """The paper's §4.2 argument: because mis-estimations are only
+        slightly clustered, 1-(1-pvn)^k approximates the measured value."""
+        results = measure_boosting(
+            gcc_trace, GsharePredictor(), JRSEstimator(threshold=15), ks=[2]
+        )
+        (result,) = results
+        assert result.empirical_pvn == pytest.approx(
+            boosted_pvn(result.base_pvn, 2), abs=0.08
+        )

@@ -1,0 +1,178 @@
+"""Tests for misprediction-distance curves on synthetic records."""
+
+import pytest
+
+from repro.analysis import (
+    perceived_distance_curve,
+    precise_distance_curve,
+    render_curves,
+)
+from repro.analysis.distance import _curve_from_pairs
+from repro.pipeline.records import BranchRecord
+
+
+def record(
+    sequence,
+    mispredicted=False,
+    committed=True,
+    precise=0,
+    perceived=0,
+):
+    return BranchRecord(
+        sequence=sequence,
+        pc=sequence,
+        predicted_taken=True,
+        actual_taken=not mispredicted,
+        fetch_cycle=sequence,
+        resolve_cycle=sequence + 3 if committed else None,
+        committed=committed,
+        precise_distance=precise,
+        perceived_distance=perceived,
+        wrong_path=not committed,
+        assessments={},
+    )
+
+
+class TestCurveFromPairs:
+    def test_bucketing_and_rates(self):
+        pairs = [(0, True), (0, False), (1, False), (5, True)]
+        curve = _curve_from_pairs(pairs, "t", max_distance=3)
+        assert curve.buckets[0].branches == 2
+        assert curve.buckets[0].misprediction_rate == pytest.approx(0.5)
+        assert curve.buckets[3].branches == 1  # tail bucket absorbs d=5
+        assert curve.total_branches == 4
+        assert curve.average_rate == pytest.approx(0.5)
+
+    def test_clustering_ratio(self):
+        pairs = [(0, True)] * 6 + [(5, False)] * 54 + [(5, True)] * 6
+        curve = _curve_from_pairs(pairs, "t", max_distance=8)
+        assert curve.clustering_ratio > 1.0
+
+    def test_rate_at_clamps_to_tail(self):
+        curve = _curve_from_pairs([(9, True)], "t", max_distance=3)
+        assert curve.rate_at(99) == pytest.approx(1.0)
+
+
+class TestPreciseCurve:
+    def test_all_population_uses_recorded_distances(self):
+        records = [
+            record(0, mispredicted=True, precise=4),
+            record(1, precise=0),
+            record(2, precise=1, committed=False),
+        ]
+        curve = precise_distance_curve(records, population="all", max_distance=5)
+        assert curve.total_branches == 3
+        assert curve.buckets[4].mispredictions == 1
+
+    def test_committed_population_recounts(self):
+        # committed stream: M . . M  -> distances 0(any), 0, 1, 2
+        records = [
+            record(0, mispredicted=True, precise=7),
+            record(1, committed=False, precise=0),  # wrong path, skipped
+            record(2, precise=0),
+            record(3, precise=1),
+            record(4, mispredicted=True, precise=2),
+        ]
+        curve = precise_distance_curve(records, population="committed", max_distance=5)
+        assert curve.total_branches == 4
+        # the second misprediction happened at recounted distance 2
+        assert curve.buckets[2].mispredictions == 1
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            precise_distance_curve([], population="bogus")
+
+
+class TestPerceivedCurve:
+    def test_filters_committed(self):
+        records = [
+            record(0, perceived=3),
+            record(1, committed=False, perceived=4),
+        ]
+        all_curve = perceived_distance_curve(records, population="all")
+        committed_curve = perceived_distance_curve(records, population="committed")
+        assert all_curve.total_branches == 2
+        assert committed_curve.total_branches == 1
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            perceived_distance_curve([], population="bogus")
+
+
+class TestRendering:
+    def test_render_curves_output(self):
+        curve = _curve_from_pairs([(0, True), (1, False)], "demo", max_distance=2)
+        text = render_curves([curve])
+        assert "demo" in text
+        assert "avg" in text
+
+    def test_render_empty(self):
+        assert render_curves([]) == ""
+
+
+class TestDistancePdf:
+    def test_pdf_sums_to_one(self):
+        from repro.analysis import distance_pdf
+
+        curve = _curve_from_pairs(
+            [(0, True), (1, True), (5, True), (2, False)], "t", max_distance=6
+        )
+        pdf = distance_pdf(curve)
+        assert sum(pdf) == pytest.approx(1.0)
+        assert pdf[0] == pytest.approx(1 / 3)
+
+    def test_pdf_empty(self):
+        from repro.analysis import distance_pdf
+
+        curve = _curve_from_pairs([(0, False)], "t", max_distance=3)
+        assert distance_pdf(curve) == [0.0, 0.0, 0.0, 0.0]
+
+    def test_geometric_reference_sums_to_one(self):
+        from repro.analysis import geometric_reference_pdf
+
+        curve = _curve_from_pairs(
+            [(d % 7, d % 5 == 0) for d in range(200)], "t", max_distance=10
+        )
+        reference = geometric_reference_pdf(curve)
+        assert sum(reference) == pytest.approx(1.0)
+        # geometric: strictly decreasing over the non-tail buckets
+        body = reference[:-1]
+        assert all(b < a for a, b in zip(body, body[1:]))
+
+    def test_divergence_zero_for_geometric_stream(self):
+        """An independent Bernoulli stream shows ~no clustering."""
+        import random
+
+        from repro.analysis import clustering_divergence
+
+        rng = random.Random(5)
+        pairs = []
+        distance = 0
+        for __ in range(50_000):
+            mispredicted = rng.random() < 0.2
+            pairs.append((distance, mispredicted))
+            distance = 0 if mispredicted else distance + 1
+        curve = _curve_from_pairs(pairs, "iid", max_distance=15)
+        assert clustering_divergence(curve) < 0.03
+
+    def test_divergence_positive_for_clustered_stream(self):
+        """Back-to-back misprediction bursts diverge from geometric."""
+        import random
+
+        from repro.analysis import clustering_divergence
+
+        rng = random.Random(6)
+        pairs = []
+        distance = 0
+        bursting = False
+        for __ in range(50_000):
+            if bursting:
+                mispredicted = rng.random() < 0.6
+                bursting = mispredicted
+            else:
+                mispredicted = rng.random() < 0.05
+                bursting = mispredicted
+            pairs.append((distance, mispredicted))
+            distance = 0 if mispredicted else distance + 1
+        curve = _curve_from_pairs(pairs, "bursty", max_distance=15)
+        assert clustering_divergence(curve) > 0.15

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "tab9"])
+
+    def test_workload_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "specfp"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tab2" in out and "compress" in out
+
+    def test_run_fig1(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_run_with_scale_flags(self, capsys):
+        code = main(
+            [
+                "run",
+                "tab3",
+                "--iterations",
+                "40",
+                "--workloads",
+                "compress,vortex",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compress" in out and "vortex" in out
+
+    def test_workload_summary(self, capsys):
+        assert main(["workload", "compress", "--iterations", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic branches" in out
+
+    def test_workload_source(self, capsys):
+        assert main(["workload", "jpeg", "--iterations", "2", "--source"]) == 0
+        assert ".text" in capsys.readouterr().out
+
+    def test_trace_writes_file(self, tmp_path, capsys):
+        target = str(tmp_path / "out.rbt")
+        assert main(["trace", "compress", target, "--iterations", "10"]) == 0
+        from repro.workloads import BranchTrace
+
+        trace = BranchTrace.load(target)
+        assert len(trace) > 100
+
+    def test_run_all_subset_to_file(self, tmp_path, capsys):
+        target = str(tmp_path / "report.txt")
+        code = main(
+            [
+                "run-all",
+                "--only",
+                "fig1",
+                "--out",
+                target,
+                "--iterations",
+                "20",
+                "--workloads",
+                "compress",
+            ]
+        )
+        assert code == 0
+        content = open(target).read()
+        assert "fig1" in content
+
+
+class TestNewCommands:
+    def test_run_json_output(self, capsys):
+        import json
+
+        assert main(["run", "fig1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "fig1"
+        assert payload["tables"]
+        assert payload["tables"][0]["headers"]
+
+    def test_tab2d_detail(self, capsys):
+        code = main(
+            ["run", "tab2d", "--iterations", "40", "--workloads", "compress"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "95% CI" in out and "±" in out
+        assert "(accuracy)" in out
+
+    def test_plot_fig4(self, capsys):
+        code = main(
+            ["plot", "fig4", "--iterations", "40", "--workloads", "compress"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4096 MDCs" in out

@@ -1,0 +1,125 @@
+"""Tests for boosting: the formula, the accumulator, the wrapper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.confidence import (
+    BoostedEstimator,
+    BoostingAccumulator,
+    MispredictionDistanceEstimator,
+    boosted_pvn,
+)
+from repro.predictors.base import Prediction
+
+
+def prediction(taken=True):
+    return Prediction(taken=taken, index=0, history=0, counters=(3,), snapshot=0)
+
+
+class TestFormula:
+    def test_paper_example(self):
+        """Two LC estimates at PVN 30% boost to roughly 50%."""
+        assert boosted_pvn(0.30, 2) == pytest.approx(0.51)
+
+    def test_k_one_is_identity(self):
+        assert boosted_pvn(0.42, 1) == pytest.approx(0.42)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            boosted_pvn(1.2, 2)
+        with pytest.raises(ValueError):
+            boosted_pvn(0.5, 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_monotone_in_k_and_bounded(self, pvn, k):
+        value = boosted_pvn(pvn, k)
+        assert 0.0 <= value <= 1.0
+        assert value >= boosted_pvn(pvn, max(1, k - 1)) - 1e-12
+
+
+class TestAccumulator:
+    def test_counts_events_at_each_window(self):
+        accumulator = BoostingAccumulator([1, 2])
+        # LC run of 3, then HC, then LC run of 1
+        for mispredicted in (False, True, False):
+            accumulator.observe(True, mispredicted)
+        accumulator.observe(False, False)
+        accumulator.observe(True, False)
+        results = {result.k: result for result in accumulator.results()}
+        assert results[1].events == 4  # every LC branch
+        assert results[2].events == 2  # positions 2,3 of the first run
+
+    def test_hit_when_any_window_member_mispredicted(self):
+        accumulator = BoostingAccumulator([2])
+        accumulator.observe(True, True)
+        accumulator.observe(True, False)  # window (T, F): hit
+        accumulator.observe(True, False)  # window (F, F): miss
+        (result,) = accumulator.results()
+        assert result.events == 2
+        assert result.events_with_misprediction == 1
+
+    def test_base_pvn(self):
+        accumulator = BoostingAccumulator([1])
+        for mispredicted in (True, False, False, True):
+            accumulator.observe(True, mispredicted)
+        (result,) = accumulator.results()
+        assert result.base_pvn == pytest.approx(0.5)
+        assert result.empirical_pvn == pytest.approx(0.5)
+        assert result.analytic_pvn == pytest.approx(0.5)
+
+    def test_hc_breaks_runs(self):
+        accumulator = BoostingAccumulator([2])
+        accumulator.observe(True, False)
+        accumulator.observe(False, False)  # HC: run broken
+        accumulator.observe(True, False)
+        (result,) = accumulator.results()
+        assert result.events == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoostingAccumulator([])
+        with pytest.raises(ValueError):
+            BoostingAccumulator([0])
+
+
+class TestBoostedEstimator:
+    def test_requires_k_consecutive_lc(self):
+        base = MispredictionDistanceEstimator(distance_threshold=1000)  # always LC
+        boosted = BoostedEstimator(base, k=2)
+        first = boosted.estimate(0, prediction())
+        second = boosted.estimate(1, prediction())
+        assert first.high_confidence  # only one LC so far: not boosted-LC
+        assert not second.high_confidence
+
+    def test_resolve_reaches_base(self):
+        base = MispredictionDistanceEstimator(distance_threshold=0)
+        boosted = BoostedEstimator(base, k=2)
+        pred = prediction(taken=True)
+        assessment = boosted.estimate(0, pred)
+        boosted.resolve(0, pred, False, assessment)  # mispredicted
+        assert base.branches_since_misprediction == 0
+
+    def test_hc_from_base_resets_run(self):
+        base = MispredictionDistanceEstimator(distance_threshold=0)
+        boosted = BoostedEstimator(base, k=2)
+        pred = prediction(taken=True)
+        boosted.estimate(0, pred)  # LC (distance 0)
+        boosted.estimate(1, pred)  # HC from base: run resets
+        third = boosted.estimate(2, pred)  # HC again
+        assert third.high_confidence
+
+    def test_reset(self):
+        base = MispredictionDistanceEstimator(distance_threshold=1000)
+        boosted = BoostedEstimator(base, k=1)
+        boosted.estimate(0, prediction())
+        boosted.reset()
+        assert boosted._lc_run == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoostedEstimator(MispredictionDistanceEstimator(), k=0)

@@ -1,0 +1,132 @@
+"""Tests for the correct/incorrect-register estimators."""
+
+import pytest
+
+from repro.confidence import CIREstimator, DistanceIndexedCIREstimator
+from repro.predictors.base import Prediction
+
+
+def prediction(taken=True, history=0):
+    return Prediction(taken=taken, index=0, history=history, counters=(3,), snapshot=0)
+
+
+class TestCIREstimator:
+    def test_cold_registers_are_low_confidence(self):
+        estimator = CIREstimator(table_size=16, register_bits=4, max_incorrect=0)
+        assert not estimator.estimate(3, prediction()).high_confidence
+
+    def test_all_correct_reaches_high_confidence(self):
+        estimator = CIREstimator(table_size=16, register_bits=4, max_incorrect=0)
+        pred = prediction()
+        for __ in range(4):
+            assessment = estimator.estimate(3, pred)
+            estimator.resolve(3, pred, True, assessment)  # correct
+        assert estimator.estimate(3, pred).high_confidence
+
+    def test_one_recent_mistake_tolerated_with_budget(self):
+        estimator = CIREstimator(table_size=16, register_bits=4, max_incorrect=1)
+        pred = prediction(taken=True)
+        outcomes = [True, True, False, True]  # one wrong among four
+        for actual in outcomes:
+            assessment = estimator.estimate(3, pred)
+            estimator.resolve(3, pred, actual, assessment)
+        assert estimator.estimate(3, pred).high_confidence
+        # but a zero budget would reject the same register
+        strict = CIREstimator(table_size=16, register_bits=4, max_incorrect=0)
+        for actual in outcomes:
+            assessment = strict.estimate(3, pred)
+            strict.resolve(3, pred, actual, assessment)
+        assert not strict.estimate(3, pred).high_confidence
+
+    def test_mistakes_age_out_of_the_window(self):
+        estimator = CIREstimator(table_size=16, register_bits=3, max_incorrect=0)
+        pred = prediction()
+        assessment = estimator.estimate(3, pred)
+        estimator.resolve(3, pred, False, assessment)  # a mistake
+        for __ in range(3):  # shift it out of the 3-bit window
+            assessment = estimator.estimate(3, pred)
+            estimator.resolve(3, pred, True, assessment)
+        assert estimator.estimate(3, pred).high_confidence
+
+    def test_enhanced_index_distinguishes_directions(self):
+        estimator = CIREstimator(
+            table_size=16, register_bits=2, max_incorrect=0, enhanced=True
+        )
+        taken_pred = prediction(taken=True)
+        for __ in range(2):
+            assessment = estimator.estimate(4, taken_pred)
+            estimator.resolve(4, taken_pred, True, assessment)
+        assert estimator.estimate(4, taken_pred).high_confidence
+        assert not estimator.estimate(4, prediction(taken=False)).high_confidence
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CIREstimator(table_size=100)
+        with pytest.raises(ValueError):
+            CIREstimator(register_bits=0)
+        with pytest.raises(ValueError):
+            CIREstimator(register_bits=4, max_incorrect=5)
+
+    def test_reset(self):
+        estimator = CIREstimator(table_size=16, register_bits=2, max_incorrect=0)
+        pred = prediction()
+        for __ in range(2):
+            assessment = estimator.estimate(3, pred)
+            estimator.resolve(3, pred, True, assessment)
+        estimator.reset()
+        assert not estimator.estimate(3, pred).high_confidence
+
+
+class TestDistanceIndexedCIR:
+    def test_distance_advances_and_resets(self):
+        estimator = DistanceIndexedCIREstimator(max_distance=8, register_bits=4)
+        pred = prediction(taken=True)
+        assessment = estimator.estimate(0, pred)
+        assert assessment.token == 0
+        estimator.resolve(0, pred, True, assessment)
+        assessment = estimator.estimate(1, pred)
+        assert assessment.token == 1
+        estimator.resolve(1, pred, False, assessment)  # misprediction
+        assessment = estimator.estimate(2, pred)
+        assert assessment.token == 0  # distance reset
+
+    def test_distance_clamps_at_max(self):
+        estimator = DistanceIndexedCIREstimator(max_distance=3, register_bits=4)
+        pred = prediction()
+        tokens = []
+        for __ in range(6):
+            assessment = estimator.estimate(0, pred)
+            tokens.append(assessment.token)
+            estimator.resolve(0, pred, True, assessment)
+        assert tokens == [0, 1, 2, 3, 3, 3]
+
+    def test_registers_learn_per_distance(self):
+        """Branches at distance 1 always wrong, at 0 always right: each
+        distance's register learns its own reliability."""
+        estimator = DistanceIndexedCIREstimator(
+            max_distance=4, register_bits=4, max_incorrect=0
+        )
+        pred = prediction(taken=True)
+        for __ in range(40):  # tokens alternate 0 (right), 1 (wrong)
+            assessment = estimator.estimate(0, pred)
+            actual = assessment.token != 1
+            estimator.resolve(0, pred, actual, assessment)
+        after = estimator.estimate(0, pred)
+        assert after.token == 0  # the run ended on a reset
+        assert after.high_confidence  # distance-0 register: all correct
+        estimator.resolve(0, pred, True, after)
+        far = estimator.estimate(0, pred)
+        assert far.token == 1
+        assert not far.high_confidence  # distance-1 register: all wrong
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistanceIndexedCIREstimator(max_distance=0)
+        with pytest.raises(ValueError):
+            DistanceIndexedCIREstimator(register_bits=2, max_incorrect=3)
+
+    def test_reset(self):
+        estimator = DistanceIndexedCIREstimator(max_distance=4)
+        estimator.estimate(0, prediction())
+        estimator.reset()
+        assert estimator.distance == 0

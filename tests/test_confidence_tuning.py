@@ -1,0 +1,140 @@
+"""Tests for tuned static confidence estimation (§5 future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.confidence import tune_for_pvn, tune_for_spec
+from repro.confidence.tuning import _build
+
+#: A hand-auditable profile: pc -> (correct, total).
+COUNTS = {
+    1: (95, 100),  # 5% mispredict, big site
+    2: (40, 100),  # 60% mispredict
+    3: (80, 100),  # 20% mispredict
+    4: (100, 100),  # perfect
+    5: (10, 20),  # 50% mispredict, small site
+}
+TOTAL_INCORRECT = 5 + 60 + 20 + 0 + 10  # = 95
+
+
+class TestTuneForSpec:
+    def test_meets_target_on_training_data(self):
+        for target in (0.2, 0.5, 0.8, 1.0):
+            tuned = tune_for_spec(COUNTS, target)
+            assert tuned.achieved_spec >= target - 1e-9
+
+    def test_picks_worst_ratio_sites_first(self):
+        tuned = tune_for_spec(COUNTS, 0.5)
+        # site 2 has by far the best incorrect:correct ratio
+        assert 2 in tuned.low_confidence_sites
+        # the perfect site is never sacrificed
+        assert 4 not in tuned.low_confidence_sites
+
+    def test_zero_target_marks_nothing(self):
+        tuned = tune_for_spec(COUNTS, 0.0)
+        assert not tuned.low_confidence_sites
+        assert tuned.achieved_sens == 1.0
+
+    def test_full_target_covers_all_mispredictions(self):
+        tuned = tune_for_spec(COUNTS, 1.0)
+        assert tuned.achieved_spec == pytest.approx(1.0)
+        # still leaves the perfect site high-confidence
+        assert 4 not in tuned.low_confidence_sites
+
+    def test_estimator_reflects_site_set(self):
+        tuned = tune_for_spec(COUNTS, 0.5)
+        from repro.predictors.base import Prediction
+
+        pred = Prediction(True, 0, 0, (3,))
+        for pc in COUNTS:
+            expected_high = pc not in tuned.low_confidence_sites
+            assert (
+                tuned.estimator.estimate(pc, pred).high_confidence
+                == expected_high
+            )
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            tune_for_spec(COUNTS, 1.5)
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(ValueError):
+            tune_for_spec({1: (10, 5)}, 0.5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_spec_monotone_in_target(self, target):
+        lower = tune_for_spec(COUNTS, target / 2)
+        higher = tune_for_spec(COUNTS, target)
+        assert higher.achieved_spec >= lower.achieved_spec - 1e-9
+        assert higher.achieved_sens <= lower.achieved_sens + 1e-9
+
+
+class TestTuneForPvn:
+    def test_meets_target_on_training_data(self):
+        for target in (0.2, 0.4, 0.6):
+            tuned = tune_for_pvn(COUNTS, target)
+            if tuned.low_confidence_sites:
+                assert tuned.achieved_pvn >= target - 1e-9
+
+    def test_maximises_coverage_at_target(self):
+        tuned = tune_for_pvn(COUNTS, 0.5)
+        # site 2 alone: pvn 0.6; adding site 5 pools to 70/220... check:
+        # sites ranked by rate: 2 (0.6), 5 (0.5), 3 (0.2), 1 (0.05), 4 (0)
+        # prefix {2}: 60/100 = 0.60 >= 0.5 ok
+        # prefix {2,5}: 70/120 = 0.583 >= 0.5 ok
+        # prefix {2,5,3}: 90/220 = 0.409 < 0.5 stop
+        assert tuned.low_confidence_sites == frozenset({2, 5})
+        assert tuned.achieved_pvn == pytest.approx(70 / 120)
+
+    def test_unreachable_target_marks_nothing(self):
+        tuned = tune_for_pvn(COUNTS, 0.99)
+        assert not tuned.low_confidence_sites
+
+    def test_zero_target_marks_everything_with_branches(self):
+        tuned = tune_for_pvn(COUNTS, 0.0)
+        assert tuned.low_confidence_sites == frozenset(COUNTS)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            tune_for_pvn(COUNTS, -0.1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=0.95))
+    def test_coverage_monotone_decreasing_in_target(self, target):
+        strict = tune_for_pvn(COUNTS, target)
+        lax = tune_for_pvn(COUNTS, target / 2)
+        assert strict.achieved_spec <= lax.achieved_spec + 1e-9
+
+
+class TestBuild:
+    def test_statistics_identities(self):
+        tuned = _build(COUNTS, {2, 5})
+        assert tuned.achieved_spec == pytest.approx(70 / 95)
+        assert tuned.achieved_pvn == pytest.approx(70 / 120)
+        assert tuned.achieved_sens == pytest.approx(
+            (95 + 80 + 100) / (95 + 40 + 80 + 100 + 10)
+        )
+        assert tuned.coverage == tuned.achieved_spec
+
+
+class TestEndToEnd:
+    def test_tuning_on_a_real_workload(self):
+        """Tune on gcc's profile and verify the target holds when the
+        estimator is then *measured* on the same input (the paper's
+        self-profiled best case)."""
+        from repro.confidence import profile_site_accuracy
+        from repro.engine import measure, workload_run
+        from repro.predictors import GsharePredictor
+
+        trace = workload_run("gcc", 120).trace
+        counts = profile_site_accuracy(trace, GsharePredictor())
+        tuned = tune_for_spec(counts, 0.8)
+        result = measure(
+            trace, GsharePredictor(), {"tuned": tuned.estimator}
+        )
+        measured = result.quadrants["tuned"]
+        # self-profiled: the measured SPEC lands on the tuned value
+        assert measured.spec == pytest.approx(tuned.achieved_spec, abs=0.02)
+        assert measured.spec >= 0.78

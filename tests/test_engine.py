@@ -1,0 +1,118 @@
+"""Tests for the trace engine: tracer equivalence and measurement."""
+
+import pytest
+
+from repro.engine import (
+    measure,
+    measure_accuracy,
+    trace_branches,
+    workload_program,
+    workload_run,
+)
+from repro.confidence import JRSEstimator, SaturatingCountersEstimator
+from repro.isa import Machine, assemble
+from repro.predictors import GsharePredictor
+from repro.workloads import SUITE, generate_program, get_profile
+
+
+class TestTracerGoldenEquivalence:
+    """The fast tracer must match Machine.step exactly."""
+
+    @pytest.mark.parametrize("name", SUITE)
+    def test_tracer_matches_machine(self, name):
+        program = generate_program(get_profile(name), iterations=5)
+        traced = trace_branches(program)
+        machine = Machine(program)
+        golden = []
+        while not machine.halted:
+            result = machine.step()
+            if result.taken is not None:
+                golden.append((result.pc, result.taken))
+        assert list(traced.trace) == golden
+        assert traced.stats.instructions == machine.instructions_retired
+        assert traced.stats.halted
+
+    def test_tracer_final_stats(self, tiny_loop_program):
+        traced = trace_branches(tiny_loop_program)
+        assert traced.stats.branches == 10
+        assert traced.stats.taken_branches == 9
+        assert traced.stats.instructions == 32  # 2 + 10*3
+
+    def test_max_branches_cutoff(self, compress_program):
+        traced = trace_branches(compress_program, max_branches=50)
+        assert len(traced.trace) == 50
+        assert not traced.stats.halted
+
+    def test_max_steps_cutoff(self):
+        program = assemble("loop: j loop\nhalt")
+        traced = trace_branches(program, max_steps=100)
+        assert traced.stats.instructions == 100
+
+    def test_fault_propagates(self):
+        program = assemble("li r5, 999\njr r5\nhalt")
+        from repro.isa import MachineFault
+
+        with pytest.raises(MachineFault):
+            trace_branches(program)
+
+
+class TestMeasure:
+    def test_quadrants_account_for_every_branch(self, compress_trace):
+        predictor = GsharePredictor()
+        estimators = {
+            "jrs": JRSEstimator(threshold=15),
+            "satcnt": SaturatingCountersEstimator.for_predictor(predictor),
+        }
+        result = measure(compress_trace, predictor, estimators)
+        assert result.branches == len(compress_trace)
+        for quadrant in result.quadrants.values():
+            assert quadrant.total == len(compress_trace)
+            # predictor-level facts are estimator-independent
+            assert quadrant.incorrect == result.mispredictions
+
+    def test_accuracy_definition(self, compress_trace):
+        result = measure_accuracy(compress_trace, GsharePredictor())
+        assert result.accuracy == pytest.approx(
+            1 - result.mispredictions / result.branches
+        )
+
+    def test_manual_tiny_trace(self):
+        """Hand-checked measurement on a two-site trace."""
+        trace = [(1, True)] * 30 + [(2, False)] * 30
+        predictor = GsharePredictor(table_size=16, history_bits=4)
+        result = measure(trace, predictor, {"jrs": JRSEstimator(threshold=15)})
+        assert result.branches == 60
+        assert 0 < result.mispredictions < 20
+
+    def test_observers_see_every_branch(self, compress_trace):
+        seen = []
+
+        def observer(pc, predicted, actual, flags):
+            seen.append((pc, flags["jrs"]))
+
+        predictor = GsharePredictor()
+        measure(
+            compress_trace,
+            predictor,
+            {"jrs": JRSEstimator(threshold=15)},
+            observers=[observer],
+        )
+        assert len(seen) == len(compress_trace)
+
+    def test_measure_without_estimators(self, compress_trace):
+        result = measure(compress_trace, GsharePredictor(), {})
+        assert result.quadrants == {}
+        assert result.branches == len(compress_trace)
+
+
+class TestCorpusCache:
+    def test_workload_run_is_cached(self):
+        first = workload_run("compress", 10)
+        second = workload_run("compress", 10)
+        assert first is second
+
+    def test_workload_program_is_cached(self):
+        assert workload_program("gcc", 5) is workload_program("gcc", 5)
+
+    def test_different_iterations_differ(self):
+        assert workload_run("compress", 10) is not workload_run("compress", 11)

@@ -1,0 +1,199 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import AssemblyError, Opcode, assemble
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        program = assemble("halt")
+        assert len(program) == 1
+        assert program.instructions[0].opcode is Opcode.HALT
+
+    def test_alu_rrr(self):
+        program = assemble("add r1, r2, r3")
+        inst = program.instructions[0]
+        assert (inst.rd, inst.rs1, inst.rs2) == (1, 2, 3)
+
+    def test_alu_rri_negative_immediate(self):
+        program = assemble("addi r1, r1, -1")
+        assert program.instructions[0].imm == -1
+
+    def test_hex_immediate(self):
+        program = assemble("li r1, 0xFF")
+        assert program.instructions[0].imm == 255
+
+    def test_memory_operands(self):
+        program = assemble("lw r1, 8(r2)\nsw r3, -4(r4)")
+        load, store = program.instructions
+        assert (load.rd, load.rs1, load.imm) == (1, 2, 8)
+        assert (store.rs2, store.rs1, store.imm) == (3, 4, -4)
+
+    def test_comments_and_blank_lines(self):
+        program = assemble(
+            """
+            ; leading comment
+            add r1, r0, r0   # trailing comment
+            halt
+            """
+        )
+        assert len(program) == 2
+
+
+class TestLabels:
+    def test_branch_to_label(self):
+        program = assemble(
+            """
+            start: addi r1, r1, 1
+                   bne r1, r0, start
+                   halt
+            """
+        )
+        branch = program.instructions[1]
+        assert branch.imm == 0
+        assert branch.target_label == "start"
+
+    def test_forward_reference(self):
+        program = assemble(
+            """
+            beq r0, r0, done
+            addi r1, r1, 1
+            done: halt
+            """
+        )
+        assert program.instructions[0].imm == 2
+
+    def test_label_on_own_line(self):
+        program = assemble("loop:\n  j loop\n  halt")
+        assert program.labels["loop"] == 0
+
+    def test_entry_is_start_label(self):
+        program = assemble("nop\nstart: halt")
+        assert program.entry == 1
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("a: nop\na: halt")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError, match="undefined"):
+            assemble("j nowhere")
+
+    def test_numeric_branch_target(self):
+        program = assemble("beq r0, r0, 5\nhalt")
+        assert program.instructions[0].imm == 5
+
+
+class TestDataSegment:
+    def test_word_directive(self):
+        program = assemble(
+            """
+            .data
+            table: .word 1, 2, 3
+            .text
+            halt
+            """
+        )
+        assert program.data == {0: 1, 1: 2, 2: 3}
+        assert program.labels["table"] == 0
+
+    def test_space_directive(self):
+        program = assemble(
+            """
+            .data
+            a: .word 7
+            b: .space 10
+            c: .word 9
+            .text
+            halt
+            """
+        )
+        assert program.labels["b"] == 1
+        assert program.labels["c"] == 11
+        assert program.data[11] == 9
+
+    def test_la_pseudo_op(self):
+        program = assemble(
+            """
+            .data
+            pad: .space 3
+            buf: .word 0
+            .text
+            start: la r1, buf
+            halt
+            """
+        )
+        assert program.instructions[0].opcode is Opcode.ADDI
+        assert program.instructions[0].imm == 3
+
+    def test_negative_word_wraps(self):
+        program = assemble(".data\nx: .word -1\n.text\nhalt")
+        assert program.data[0] == 0xFFFFFFFF
+
+    def test_word_outside_data_rejected(self):
+        with pytest.raises(AssemblyError, match="outside"):
+            assemble(".word 1\nhalt")
+
+    def test_code_in_data_segment_rejected(self):
+        with pytest.raises(AssemblyError, match="outside .text"):
+            assemble(".data\nadd r1, r2, r3")
+
+
+class TestPseudoOps:
+    def test_li(self):
+        inst = assemble("li r5, 42").instructions[0]
+        assert inst.opcode is Opcode.ADDI
+        assert (inst.rd, inst.rs1, inst.imm) == (5, 0, 42)
+
+    def test_mv(self):
+        inst = assemble("mv r5, r6").instructions[0]
+        assert inst.opcode is Opcode.ADD
+        assert (inst.rd, inst.rs1, inst.rs2) == (5, 6, 0)
+
+    def test_jal_writes_link(self):
+        inst = assemble("f: jal f").instructions[0]
+        assert inst.rd == 31
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects 3"):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="register"):
+            assemble("add r1, r2, r99")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError, match="offset"):
+            assemble("lw r1, r2")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError, match="directive"):
+            assemble(".bogus 1")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError, match="line 2"):
+            assemble("nop\nbogus r1")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            assemble("; nothing but a comment")
+
+
+class TestListing:
+    def test_listing_mentions_labels_and_pcs(self):
+        program = assemble("start: addi r1, r0, 1\nloop: bne r1, r0, loop\nhalt")
+        listing = program.listing()
+        assert "start:" in listing
+        assert "loop:" in listing
+        assert "bne" in listing
+
+    def test_listing_limit(self):
+        program = assemble("\n".join(["nop"] * 10 + ["halt"]))
+        assert "more" in program.listing(limit=3)

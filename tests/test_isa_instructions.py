@@ -1,0 +1,126 @@
+"""Unit tests for instruction semantics."""
+
+import pytest
+
+from repro.isa import Instruction, OpCategory, Opcode, branch_taken, evaluate_alu
+from repro.isa.instructions import WORD_MASK, to_signed, to_unsigned
+
+
+class TestSignedness:
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x80000000) == -(1 << 31)
+
+    def test_to_signed_boundary(self):
+        assert to_signed(0x7FFFFFFF) == (1 << 31) - 1
+
+    def test_to_unsigned_wraps(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+        assert to_unsigned(1 << 32) == 0
+
+    def test_roundtrip(self):
+        for value in (0, 1, 2**31 - 1, 2**31, 2**32 - 1):
+            assert to_unsigned(to_signed(value)) == value
+
+
+class TestAlu:
+    def test_add_wraps(self):
+        assert evaluate_alu(Opcode.ADD, 0xFFFFFFFF, 1) == 0
+
+    def test_sub_wraps(self):
+        assert evaluate_alu(Opcode.SUB, 0, 1) == 0xFFFFFFFF
+
+    def test_mul_truncates(self):
+        assert evaluate_alu(Opcode.MUL, 0x10000, 0x10000) == 0
+
+    def test_logic(self):
+        assert evaluate_alu(Opcode.AND, 0b1100, 0b1010) == 0b1000
+        assert evaluate_alu(Opcode.OR, 0b1100, 0b1010) == 0b1110
+        assert evaluate_alu(Opcode.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_shifts(self):
+        assert evaluate_alu(Opcode.SLL, 1, 4) == 16
+        assert evaluate_alu(Opcode.SRL, 0x80000000, 31) == 1
+        assert evaluate_alu(Opcode.SRA, 0x80000000, 31) == 0xFFFFFFFF
+
+    def test_shift_amount_masked_to_five_bits(self):
+        assert evaluate_alu(Opcode.SLL, 1, 33) == 2
+
+    def test_slt_signed(self):
+        assert evaluate_alu(Opcode.SLT, 0xFFFFFFFF, 0) == 1  # -1 < 0
+        assert evaluate_alu(Opcode.SLT, 0, 0xFFFFFFFF) == 0
+
+    def test_sltu_unsigned(self):
+        assert evaluate_alu(Opcode.SLTU, 0xFFFFFFFF, 0) == 0
+        assert evaluate_alu(Opcode.SLTU, 0, 0xFFFFFFFF) == 1
+
+    def test_immediate_aliases(self):
+        assert evaluate_alu(Opcode.ADDI, 2, 3) == 5
+        assert evaluate_alu(Opcode.ANDI, 0b111, 0b101) == 0b101
+
+    def test_non_alu_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_alu(Opcode.BEQ, 1, 2)
+
+
+class TestBranchConditions:
+    def test_beq(self):
+        assert branch_taken(Opcode.BEQ, 7, 7)
+        assert not branch_taken(Opcode.BEQ, 7, 8)
+
+    def test_bne(self):
+        assert branch_taken(Opcode.BNE, 7, 8)
+        assert not branch_taken(Opcode.BNE, 7, 7)
+
+    def test_blt_signed(self):
+        assert branch_taken(Opcode.BLT, 0xFFFFFFFF, 0)  # -1 < 0
+        assert not branch_taken(Opcode.BLT, 0, 0xFFFFFFFF)
+
+    def test_bge_signed(self):
+        assert branch_taken(Opcode.BGE, 0, 0xFFFFFFFF)
+        assert branch_taken(Opcode.BGE, 3, 3)
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(ValueError):
+            branch_taken(Opcode.ADD, 1, 2)
+
+
+class TestInstruction:
+    def test_category_lookup(self):
+        assert Opcode.ADD.category is OpCategory.ALU_RRR
+        assert Opcode.LW.category is OpCategory.LOAD
+        assert Opcode.BEQ.category is OpCategory.BRANCH
+        assert Opcode.JAL.category is OpCategory.JUMP
+        assert Opcode.HALT.category is OpCategory.SYSTEM
+
+    def test_every_opcode_has_a_category(self):
+        for opcode in Opcode:
+            assert opcode.category is not None
+
+    def test_is_conditional_branch(self):
+        assert Instruction(Opcode.BNE, rs1=1, rs2=2, imm=0).is_conditional_branch
+        assert not Instruction(Opcode.J, imm=0).is_conditional_branch
+
+    def test_is_control(self):
+        assert Instruction(Opcode.J, imm=0).is_control
+        assert Instruction(Opcode.JR, rs1=31).is_control
+        assert not Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3).is_control
+
+    def test_register_validation(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rd=32)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rs1=-1)
+
+    def test_str_forms(self):
+        assert str(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)) == "add r1, r2, r3"
+        assert str(Instruction(Opcode.LW, rd=1, rs1=2, imm=4)) == "lw r1, 4(r2)"
+        assert "beq" in str(Instruction(Opcode.BEQ, rs1=1, rs2=0, imm=7))
+
+
+class TestWordMask:
+    def test_word_mask(self):
+        assert WORD_MASK == 0xFFFFFFFF

@@ -1,0 +1,104 @@
+"""Property-based tests on the ISA layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Machine, Opcode, assemble, branch_taken, evaluate_alu
+from repro.isa.instructions import WORD_MASK, to_signed, to_unsigned
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+
+ALU_OPCODES = [
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.SLL,
+    Opcode.SRL,
+    Opcode.SRA,
+    Opcode.SLT,
+    Opcode.SLTU,
+]
+
+
+@given(words)
+def test_signed_unsigned_roundtrip(value):
+    assert to_unsigned(to_signed(value)) == value
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_unsigned_signed_roundtrip(value):
+    assert to_signed(to_unsigned(value)) == value
+
+
+@given(st.sampled_from(ALU_OPCODES), words, words)
+def test_alu_results_stay_in_word_range(opcode, a, b):
+    result = evaluate_alu(opcode, a, b)
+    assert 0 <= result <= WORD_MASK
+
+
+@given(words, words)
+def test_add_sub_are_inverse(a, b):
+    total = evaluate_alu(Opcode.ADD, a, b)
+    assert evaluate_alu(Opcode.SUB, total, b) == a
+
+
+@given(words, words)
+def test_xor_is_self_inverse(a, b):
+    mixed = evaluate_alu(Opcode.XOR, a, b)
+    assert evaluate_alu(Opcode.XOR, mixed, b) == a
+
+
+@given(words, words)
+def test_beq_bne_partition(a, b):
+    assert branch_taken(Opcode.BEQ, a, b) != branch_taken(Opcode.BNE, a, b)
+
+
+@given(words, words)
+def test_blt_bge_partition(a, b):
+    assert branch_taken(Opcode.BLT, a, b) != branch_taken(Opcode.BGE, a, b)
+
+
+@given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_snapshot_restore_is_identity(steps_before, steps_after):
+    """Running further then restoring always recovers the exact state."""
+    source = "\n".join(
+        ["start: li r1, 0", "li r2, 1"]
+        + ["loop: add r1, r1, r2", f"sw r1, 100(r1)", "addi r2, r2, 3", "j loop"]
+    )
+    machine = Machine(assemble(source))
+    for __ in range(steps_before):
+        machine.step()
+    regs = list(machine.regs)
+    memory = dict(machine.memory)
+    pc = machine.pc
+    snap = machine.snapshot()
+    for __ in range(steps_after):
+        machine.step()
+    machine.restore(snap)
+    assert machine.regs == regs
+    assert machine.memory == memory
+    assert machine.pc == pc
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=31),
+            st.integers(min_value=-1000, max_value=1000),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_assembler_preserves_immediate_sequences(pairs):
+    """Assembling a generated li sequence reproduces operands exactly."""
+    source = "\n".join(f"li r{reg}, {imm}" for reg, imm in pairs) + "\nhalt"
+    program = assemble(source)
+    for (reg, imm), inst in zip(pairs, program.instructions):
+        assert inst.rd == reg
+        assert inst.imm == imm

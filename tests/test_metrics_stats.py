@@ -1,0 +1,133 @@
+"""Tests for the binomial statistics over quadrant metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import QuadrantCounts
+from repro.metrics.stats import (
+    format_with_interval,
+    metric_interval,
+    metrics_differ,
+    proportions_differ,
+    two_proportion_z,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_known_value(self):
+        # 8/10 at 95%: classic Wilson example, (0.49, 0.94) to 2dp
+        low, high = wilson_interval(8, 10)
+        assert low == pytest.approx(0.4902, abs=0.002)
+        assert high == pytest.approx(0.9433, abs=0.002)
+
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_extremes_stay_in_unit_interval(self):
+        low, high = wilson_interval(10, 10)
+        assert 0.0 <= low <= high <= 1.0
+        assert high == pytest.approx(1.0, abs=1e-9)
+
+    def test_narrower_with_more_data(self):
+        low_small, high_small = wilson_interval(80, 100)
+        low_big, high_big = wilson_interval(8000, 10000)
+        assert (high_big - low_big) < (high_small - low_small)
+
+    def test_confidence_levels(self):
+        low90, high90 = wilson_interval(50, 100, confidence=0.90)
+        low99, high99 = wilson_interval(50, 100, confidence=0.99)
+        assert (high99 - low99) > (high90 - low90)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 10, confidence=0.8)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=1, max_value=1000),
+    )
+    def test_contains_point_estimate(self, successes, extra):
+        trials = successes + extra
+        low, high = wilson_interval(successes, trials)
+        assert low <= successes / trials <= high
+        assert 0.0 <= low <= high <= 1.0
+
+
+class TestMetricInterval:
+    quadrant = QuadrantCounts(c_hc=610, i_hc=20, c_lc=190, i_lc=180)
+
+    def test_uses_right_population(self):
+        low, high = metric_interval(self.quadrant, "pvn")
+        assert low <= self.quadrant.pvn <= high
+        # PVN population is only 370 branches: wider than accuracy's 1000
+        acc_low, acc_high = metric_interval(self.quadrant, "accuracy")
+        assert (high - low) > (acc_high - acc_low)
+
+    def test_every_metric_supported(self):
+        for metric in ("sens", "spec", "pvp", "pvn", "accuracy"):
+            low, high = metric_interval(self.quadrant, metric)
+            assert low <= getattr(self.quadrant, metric) <= high
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            metric_interval(self.quadrant, "coverage2")
+
+    def test_format(self):
+        text = format_with_interval(self.quadrant, "pvn")
+        assert "±" in text and "%" in text
+
+
+class TestProportionTests:
+    def test_clearly_different(self):
+        assert proportions_differ(900, 1000, 500, 1000)
+
+    def test_identical_not_different(self):
+        assert not proportions_differ(500, 1000, 500, 1000)
+        assert two_proportion_z(500, 1000, 500, 1000) == 0.0
+
+    def test_small_samples_not_significant(self):
+        # 6/10 vs 4/10 is indistinguishable
+        assert not proportions_differ(6, 10, 4, 10)
+
+    def test_same_rates_large_samples(self):
+        # the same 1-point gap: noise at n=400, real at n=40000
+        assert not proportions_differ(120, 400, 116, 400)
+        assert proportions_differ(12000, 40000, 11600, 40000)
+
+    def test_empty_samples(self):
+        assert not proportions_differ(0, 0, 5, 10)
+
+    def test_metrics_differ_wiring(self):
+        big_a = QuadrantCounts(c_hc=9000, i_hc=1000, c_lc=0, i_lc=0)  # pvp .9
+        big_b = QuadrantCounts(c_hc=8000, i_hc=2000, c_lc=0, i_lc=0)  # pvp .8
+        assert metrics_differ(big_a, big_b, "pvp")
+        small_a = QuadrantCounts(c_hc=9, i_hc=1, c_lc=0, i_lc=0)
+        small_b = QuadrantCounts(c_hc=8, i_hc=2, c_lc=0, i_lc=0)
+        assert not metrics_differ(small_a, small_b, "pvp")
+
+
+class TestOnRealMeasurement:
+    def test_intervals_cover_rerun_variation(self, compress_trace):
+        """Measured PVN on two disjoint halves of a workload: each
+        half's interval should (usually) cover the other's estimate."""
+        from repro.confidence import JRSEstimator
+        from repro.engine import measure
+        from repro.predictors import GsharePredictor
+
+        records = list(compress_trace)
+        half = len(records) // 2
+        quadrants = []
+        for part in (records[:half], records[half:]):
+            result = measure(
+                part, GsharePredictor(), {"jrs": JRSEstimator(threshold=15)}
+            )
+            quadrants.append(result.quadrants["jrs"])
+        low, high = metric_interval(quadrants[0], "pvn", confidence=0.99)
+        assert low - 0.05 <= quadrants[1].pvn <= high + 0.05

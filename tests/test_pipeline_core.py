@@ -1,0 +1,214 @@
+"""Integration tests for the speculative pipeline simulator."""
+
+import pytest
+
+from repro.confidence import JRSEstimator, MispredictionDistanceEstimator
+from repro.isa import Machine
+from repro.pipeline import PipelineConfig, PipelineSimulator
+from repro.predictors import GsharePredictor, SAgPredictor, make_predictor
+from repro.workloads import SUITE, generate_program, get_profile
+
+
+def small_program(name="compress", iterations=30):
+    return generate_program(get_profile(name), iterations=iterations)
+
+
+class TestGoldenEquivalence:
+    """Committed execution must equal pure functional execution."""
+
+    @pytest.mark.parametrize("name", ("compress", "gcc", "go", "vortex"))
+    def test_architectural_state_matches_functional_run(self, name):
+        program = small_program(name, iterations=8)
+        simulator = PipelineSimulator(program, GsharePredictor())
+        result = simulator.run()
+        golden = Machine(program)
+        golden.run()
+        assert simulator.machine.halted
+        assert simulator.machine.regs == golden.regs
+        assert simulator.machine.memory == golden.memory
+        assert (
+            result.stats.committed_instructions == golden.instructions_retired
+        )
+
+    def test_committed_branch_stream_matches_trace(self):
+        from repro.engine import trace_branches
+
+        program = small_program(iterations=10)
+        result = PipelineSimulator(program, GsharePredictor()).run()
+        committed = [
+            (record.pc, record.actual_taken) for record in result.committed_records()
+        ]
+        assert committed == list(trace_branches(program).trace)
+
+    def test_non_speculative_predictor_also_equivalent(self):
+        program = small_program(iterations=8)
+        simulator = PipelineSimulator(program, SAgPredictor())
+        result = simulator.run()
+        golden = Machine(program)
+        golden.run()
+        assert result.stats.committed_instructions == golden.instructions_retired
+
+
+class TestSpeculationBehaviour:
+    def test_fetches_more_than_commits(self):
+        program = small_program(iterations=40)
+        result = PipelineSimulator(program, GsharePredictor()).run()
+        stats = result.stats
+        assert stats.fetched_instructions > stats.committed_instructions
+        assert stats.fetch_to_commit_ratio > 1.0
+        assert stats.squashed_instructions > 0
+
+    def test_wrong_path_branches_are_recorded(self):
+        program = small_program(iterations=40)
+        result = PipelineSimulator(program, GsharePredictor()).run()
+        wrong_path = [r for r in result.branch_records if r.wrong_path]
+        assert wrong_path
+        assert all(not record.committed for record in wrong_path)
+
+    def test_committed_records_resolved_in_order(self):
+        program = small_program(iterations=20)
+        result = PipelineSimulator(program, GsharePredictor()).run()
+        committed = result.committed_records()
+        cycles = [record.resolve_cycle for record in committed]
+        assert cycles == sorted(cycles)
+        assert all(
+            record.resolve_cycle >= record.fetch_cycle for record in committed
+        )
+
+    def test_distance_counters_reset_on_mispredictions(self):
+        program = small_program(iterations=40)
+        result = PipelineSimulator(program, GsharePredictor()).run()
+        records = result.branch_records
+        # right after a mispredicted fetch, the next branch's precise
+        # distance must be 0
+        for earlier, later in zip(records, records[1:]):
+            if earlier.mispredicted:
+                assert later.precise_distance == 0
+
+    def test_perceived_distance_lags_precise(self):
+        """Detection happens at resolve: perceived resets later, so on
+        average perceived distances right after a misprediction exceed
+        precise ones."""
+        program = small_program(iterations=60)
+        result = PipelineSimulator(program, GsharePredictor()).run()
+        records = [r for r in result.branch_records if r.mispredicted]
+        mean_precise = sum(r.precise_distance for r in records) / len(records)
+        mean_perceived = sum(r.perceived_distance for r in records) / len(records)
+        assert mean_perceived >= mean_precise
+
+    def test_mispredict_penalty_slows_completion(self):
+        program = small_program(iterations=30)
+        fast = PipelineSimulator(
+            program, GsharePredictor(), config=PipelineConfig(mispredict_penalty=0)
+        ).run()
+        slow = PipelineSimulator(
+            program, GsharePredictor(), config=PipelineConfig(mispredict_penalty=10)
+        ).run()
+        assert slow.stats.cycles > fast.stats.cycles
+
+    def test_max_instructions_truncates(self):
+        program = small_program(iterations=200)
+        result = PipelineSimulator(program, GsharePredictor()).run(
+            max_instructions=2000
+        )
+        assert 2000 <= result.stats.committed_instructions < 2200
+
+    def test_ipc_is_bounded_by_widths(self):
+        program = small_program(iterations=30)
+        config = PipelineConfig(fetch_width=2, commit_width=2)
+        result = PipelineSimulator(program, GsharePredictor(), config=config).run()
+        assert 0 < result.stats.ipc <= 2.0
+
+
+class TestEstimatorsInPipeline:
+    def test_quadrants_cover_committed_branches(self):
+        program = small_program(iterations=30)
+        predictor = GsharePredictor()
+        simulator = PipelineSimulator(
+            program,
+            predictor,
+            estimators={"jrs": JRSEstimator(threshold=15)},
+        )
+        result = simulator.run()
+        quadrant = result.quadrants_committed["jrs"]
+        assert quadrant.total == result.stats.committed_branches
+        quadrant_all = result.quadrants_all["jrs"]
+        assert quadrant_all.total == result.stats.fetched_branches
+
+    def test_records_carry_assessments(self):
+        program = small_program(iterations=20)
+        predictor = GsharePredictor()
+        simulator = PipelineSimulator(
+            program,
+            predictor,
+            estimators={"dist": MispredictionDistanceEstimator(4)},
+        )
+        result = simulator.run()
+        assert all("dist" in record.assessments for record in result.branch_records)
+
+    def test_wrong_path_branches_counted_in_all_only(self):
+        program = small_program(iterations=40)
+        predictor = GsharePredictor()
+        simulator = PipelineSimulator(
+            program, predictor, estimators={"jrs": JRSEstimator(threshold=15)}
+        )
+        result = simulator.run()
+        assert (
+            result.quadrants_all["jrs"].total
+            > result.quadrants_committed["jrs"].total
+        )
+
+
+class TestStepCycleApi:
+    def test_manual_stepping_reaches_completion(self):
+        program = small_program(iterations=5)
+        simulator = PipelineSimulator(program, GsharePredictor())
+        for __ in range(200_000):
+            if simulator.done:
+                break
+            simulator.step_cycle()
+        assert simulator.done
+
+    def test_fetch_denied_still_commits(self):
+        program = small_program(iterations=5)
+        simulator = PipelineSimulator(
+            program, GsharePredictor(), config=PipelineConfig(resolve_stage=20)
+        )
+        # fill the pipe (riding out the cold I-cache miss), then deny
+        # fetch: in-flight work must drain
+        for __ in range(15):
+            simulator.step_cycle(fetch_allowed=True)
+        inflight = len(simulator._inflight)
+        assert inflight > 0
+        for __ in range(50):
+            simulator.step_cycle(fetch_allowed=False)
+        assert len(simulator._inflight) == 0
+
+    def test_wants_fetch_false_when_window_full(self):
+        program = small_program(iterations=10)
+        config = PipelineConfig(window=4, resolve_stage=30)
+        simulator = PipelineSimulator(program, GsharePredictor(), config=config)
+        for __ in range(3):
+            simulator.step_cycle()
+        assert not simulator.wants_fetch()
+
+
+class TestConfigValidation:
+    def test_bad_widths(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(fetch_width=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(window=2, fetch_width=4)
+
+    def test_bad_latencies(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(resolve_stage=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(mispredict_penalty=-1)
+
+
+@pytest.mark.parametrize("predictor_name", ("gshare", "mcfarling", "sag"))
+def test_every_predictor_survives_a_pipeline_run(predictor_name):
+    program = small_program(iterations=10)
+    result = PipelineSimulator(program, make_predictor(predictor_name)).run()
+    assert result.stats.committed_instructions > 0

@@ -1,0 +1,167 @@
+"""Property-based fuzzing of the speculative pipeline.
+
+Hypothesis composes random workload profiles (arbitrary mixes of site
+kinds, seeds and layouts) and random pipeline geometries; for every
+sample the three executions of the same program must agree:
+
+* pure functional machine (golden),
+* fast tracer,
+* speculative pipeline's committed stream,
+
+for any predictor, any estimator attachment, and any (valid) pipeline
+configuration.  This is the strongest correctness net in the suite: a
+bug in squash/rollback, journal handling, history repair or fetch
+gating shows up as an architectural-state divergence here.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.confidence import JRSEstimator, MispredictionDistanceEstimator
+from repro.engine import trace_branches
+from repro.isa import Machine
+from repro.pipeline import CacheConfig, PipelineConfig, PipelineSimulator
+from repro.predictors import make_predictor
+from repro.speculation import EagerPipelineSimulator
+from repro.workloads.generator import GuardSpec, WorkloadProfile, generate_program
+from repro.workloads.sites import (
+    AlternatingSite,
+    BiasedSite,
+    CorrelatedSite,
+    LoopSite,
+    PatternSite,
+    WalkSite,
+)
+
+
+@st.composite
+def branch_sites(draw):
+    kind = draw(st.integers(min_value=0, max_value=5))
+    shift = draw(st.integers(min_value=12, max_value=21))
+    threshold = draw(st.integers(min_value=0, max_value=1024))
+    if kind == 0:
+        return BiasedSite(
+            threshold=threshold,
+            field_shift=shift,
+            advance_lcg=draw(st.booleans()),
+        )
+    if kind == 1:
+        return CorrelatedSite(threshold=threshold, field_shift=shift)
+    if kind == 2:
+        length = draw(st.integers(min_value=1, max_value=6))
+        bits = tuple(draw(st.integers(min_value=0, max_value=1)) for __ in range(length))
+        if all(bit == bits[0] for bit in bits):
+            bits = bits + (1 - bits[0],)
+        return PatternSite(pattern=bits)
+    if kind == 3:
+        trip_min = draw(st.integers(min_value=1, max_value=5))
+        trip_max = trip_min + draw(st.integers(min_value=0, max_value=5))
+        return LoopSite(trip_min=trip_min, trip_max=trip_max, field_shift=shift)
+    if kind == 4:
+        return AlternatingSite()
+    return WalkSite(
+        array_words=draw(st.integers(min_value=1, max_value=64)),
+        stride=draw(st.integers(min_value=1, max_value=7)),
+        threshold=threshold,
+    )
+
+
+@st.composite
+def workload_profiles(draw):
+    sites = tuple(draw(st.lists(branch_sites(), min_size=1, max_size=10)))
+    guards = {}
+    for index in range(len(sites)):
+        if draw(st.booleans()) and draw(st.booleans()):  # ~25% guarded
+            guards[index] = GuardSpec(
+                field_shift=draw(st.integers(min_value=12, max_value=21)),
+                threshold=draw(st.integers(min_value=0, max_value=1024)),
+            )
+    return WorkloadProfile(
+        name="fuzz",
+        description="hypothesis-composed profile",
+        sites=sites,
+        guards=guards,
+        subroutine_group=draw(st.sampled_from((0, 0, 3))),
+        lcg_seed=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        data_seed=draw(st.integers(min_value=0, max_value=2**16)),
+        default_iterations=draw(st.integers(min_value=1, max_value=25)),
+    )
+
+
+@st.composite
+def pipeline_configs(draw):
+    fetch_width = draw(st.integers(min_value=1, max_value=8))
+    return PipelineConfig(
+        fetch_width=fetch_width,
+        commit_width=draw(st.integers(min_value=1, max_value=8)),
+        window=max(fetch_width, draw(st.sampled_from((8, 16, 64)))),
+        resolve_stage=draw(st.integers(min_value=1, max_value=12)),
+        mispredict_penalty=draw(st.integers(min_value=0, max_value=8)),
+        icache=CacheConfig(size_words=1024, line_words=8, associativity=2),
+        dcache=CacheConfig(size_words=512, line_words=4, associativity=2),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload_profiles())
+def test_tracer_equals_machine_on_random_programs(profile):
+    program = generate_program(profile)
+    machine = Machine(program)
+    golden = []
+    while not machine.halted:
+        result = machine.step()
+        if result.taken is not None:
+            golden.append((result.pc, result.taken))
+    traced = trace_branches(program)
+    assert list(traced.trace) == golden
+    assert traced.stats.instructions == machine.instructions_retired
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    workload_profiles(),
+    pipeline_configs(),
+    st.sampled_from(("gshare", "mcfarling", "sag", "bimodal")),
+)
+def test_pipeline_equals_machine_on_random_programs(profile, config, predictor_name):
+    program = generate_program(profile)
+    predictor = make_predictor(predictor_name)
+    simulator = PipelineSimulator(
+        program,
+        predictor,
+        config=config,
+        estimators={
+            "jrs": JRSEstimator(table_size=256, threshold=7),
+            "dist": MispredictionDistanceEstimator(3),
+        },
+    )
+    result = simulator.run()
+    golden = Machine(program)
+    golden.run()
+    assert simulator.machine.halted
+    assert simulator.machine.regs == golden.regs
+    assert simulator.machine.memory == golden.memory
+    assert result.stats.committed_instructions == golden.instructions_retired
+    # every record is consistent
+    for record in result.branch_records:
+        assert (record.resolve_cycle is not None) == record.committed
+
+
+@settings(max_examples=15, deadline=None)
+@given(workload_profiles(), pipeline_configs())
+def test_dualpath_equals_machine_on_random_programs(profile, config):
+    program = generate_program(profile)
+    predictor = make_predictor("gshare")
+    simulator = EagerPipelineSimulator(
+        program,
+        predictor,
+        config=config,
+        estimators={"fork": JRSEstimator(table_size=256, threshold=12)},
+        fork_on="fork",
+    )
+    result = simulator.run()
+    golden = Machine(program)
+    golden.run()
+    assert simulator.machine.regs == golden.regs
+    assert simulator.machine.memory == golden.memory
+    assert result.stats.committed_instructions == golden.instructions_retired

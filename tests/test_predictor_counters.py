@@ -1,0 +1,123 @@
+"""Unit and property tests for saturating counters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors import (
+    CounterTable,
+    SaturatingCounter,
+    counter_is_strong,
+    counter_predicts_taken,
+)
+
+
+class TestSaturatingCounter:
+    def test_saturates_high(self):
+        counter = SaturatingCounter(bits=2, value=3)
+        counter.increment()
+        assert counter.value == 3
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(bits=2, value=0)
+        counter.decrement()
+        assert counter.value == 0
+
+    def test_standard_two_bit_walk(self):
+        counter = SaturatingCounter(bits=2, value=0)
+        directions = []
+        for taken in (True, True, True, False, False, False):
+            counter.update(taken)
+            directions.append(counter.predict_taken)
+        assert directions == [False, True, True, True, False, False]
+
+    def test_strong_states(self):
+        assert SaturatingCounter(bits=2, value=0).is_strong
+        assert SaturatingCounter(bits=2, value=3).is_strong
+        assert not SaturatingCounter(bits=2, value=1).is_strong
+        assert not SaturatingCounter(bits=2, value=2).is_strong
+
+    def test_midpoint_prediction(self):
+        assert not SaturatingCounter(bits=4, value=7).predict_taken
+        assert SaturatingCounter(bits=4, value=8).predict_taken
+
+    def test_reset(self):
+        counter = SaturatingCounter(bits=4, value=9)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, value=4)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=8), st.lists(st.booleans(), max_size=100))
+    def test_value_always_in_range(self, bits, updates):
+        counter = SaturatingCounter(bits=bits)
+        for taken in updates:
+            counter.update(taken)
+            assert 0 <= counter.value <= counter.max_value
+
+
+class TestCounterTable:
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            CounterTable(100)
+
+    def test_default_initial_is_weak_not_taken(self):
+        table = CounterTable(8, bits=2)
+        assert table.read(0) == 1
+        assert not table.predict_taken(0)
+
+    def test_update_matches_single_counter(self):
+        table = CounterTable(4, bits=2, initial=0)
+        reference = SaturatingCounter(bits=2, value=0)
+        for taken in (True, True, False, True, False, False, False):
+            table.update(2, taken)
+            reference.update(taken)
+            assert table.read(2) == reference.value
+
+    def test_index_wraps_with_mask(self):
+        table = CounterTable(4, bits=2, initial=0)
+        table.update(5, True)  # 5 & 3 == 1
+        assert table.read(1) == 1
+
+    def test_increment_and_reset(self):
+        table = CounterTable(4, bits=4, initial=0)
+        for __ in range(20):
+            table.increment(3)
+        assert table.read(3) == 15
+        table.reset(3)
+        assert table.read(3) == 0
+
+    def test_is_strong(self):
+        table = CounterTable(4, bits=2, initial=0)
+        assert table.is_strong(0)
+        table.update(0, True)
+        assert not table.is_strong(0)
+
+    def test_len(self):
+        assert len(CounterTable(64)) == 64
+
+    def test_raw_helpers(self):
+        assert counter_is_strong(0, 2)
+        assert counter_is_strong(3, 2)
+        assert not counter_is_strong(2, 2)
+        assert counter_predicts_taken(2, 2)
+        assert not counter_predicts_taken(1, 2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=1023), st.booleans()),
+            max_size=200,
+        ),
+    )
+    def test_all_values_stay_in_range(self, bits, operations):
+        table = CounterTable(64, bits=bits)
+        for index, taken in operations:
+            table.update(index, taken)
+        assert all(0 <= value <= table.max_value for value in table.values)

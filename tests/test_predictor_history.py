@@ -1,0 +1,84 @@
+"""Tests for global and local branch history registers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors import GlobalHistory, LocalHistoryTable
+
+
+class TestGlobalHistory:
+    def test_push_shifts_in_lsb(self):
+        history = GlobalHistory(4)
+        history.push(True)
+        history.push(False)
+        history.push(True)
+        assert history.value == 0b101
+
+    def test_mask_limits_width(self):
+        history = GlobalHistory(3)
+        for __ in range(10):
+            history.push(True)
+        assert history.value == 0b111
+
+    def test_set_masks(self):
+        history = GlobalHistory(4)
+        history.set(0xFF)
+        assert history.value == 0xF
+
+    def test_extend_is_pure_push(self):
+        history = GlobalHistory(6)
+        history.set(0b10101)
+        pure = GlobalHistory.extend(history.value, True, history.mask)
+        history.push(True)
+        assert history.value == pure
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GlobalHistory(0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=24), st.lists(st.booleans(), max_size=64))
+    def test_value_always_within_mask(self, bits, pushes):
+        history = GlobalHistory(bits)
+        for taken in pushes:
+            history.push(taken)
+            assert 0 <= history.value <= history.mask
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.booleans(), min_size=8, max_size=8))
+    def test_history_records_last_n_outcomes(self, pushes):
+        history = GlobalHistory(8)
+        for taken in pushes:
+            history.push(taken)
+        expected = 0
+        for taken in pushes:
+            expected = (expected << 1) | int(taken)
+        assert history.value == expected
+
+
+class TestLocalHistoryTable:
+    def test_independent_entries(self):
+        table = LocalHistoryTable(entries=4, bits=4)
+        table.push(0, True)
+        table.push(1, False)
+        table.push(0, True)
+        assert table.read(0) == 0b11
+        assert table.read(1) == 0b0
+
+    def test_aliasing_by_index_mask(self):
+        table = LocalHistoryTable(entries=4, bits=4)
+        table.push(1, True)
+        assert table.read(5) == 1  # 5 & 3 == 1: tagless aliasing
+
+    def test_history_mask(self):
+        table = LocalHistoryTable(entries=2, bits=3)
+        for __ in range(10):
+            table.push(0, True)
+        assert table.read(0) == 0b111
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalHistoryTable(entries=3, bits=2)
+        with pytest.raises(ValueError):
+            LocalHistoryTable(entries=4, bits=0)

@@ -1,0 +1,151 @@
+"""Tests for the extended two-level predictor family (GAg/gselect/PAs)."""
+
+import pytest
+
+from repro.confidence import PatternHistoryEstimator
+from repro.predictors import (
+    GAgPredictor,
+    GselectPredictor,
+    PAsPredictor,
+    make_predictor,
+)
+
+
+def teach(predictor, pc, taken, times=1):
+    for __ in range(times):
+        prediction = predictor.predict(pc)
+        predictor.resolve(pc, taken, prediction)
+    return prediction
+
+
+class TestGAg:
+    def test_learns_pure_global_pattern(self):
+        """A strict global alternation is GAg's home turf."""
+        predictor = GAgPredictor(history_bits=6)
+        outcome = False
+        correct = 0
+        total = 0
+        for round_number in range(300):
+            outcome = not outcome
+            prediction = predictor.predict(17)
+            predictor.resolve(17, outcome, prediction)
+            if round_number > 150:
+                total += 1
+                correct += prediction.taken == outcome
+        assert correct / total > 0.95
+
+    def test_ignores_pc_entirely(self):
+        predictor = GAgPredictor(history_bits=6)
+        a = predictor.predict(1)
+        predictor.resolve(1, a.taken, a)
+        b = predictor.predict(999)
+        # same history value -> same index regardless of PC
+        assert b.index == ((a.snapshot << 1) | int(a.taken)) & predictor.history.mask
+
+    def test_history_repair(self):
+        predictor = GAgPredictor(history_bits=6)
+        prediction = predictor.predict(1)
+        predictor.predict(2)
+        actual = not prediction.taken
+        predictor.resolve(1, actual, prediction)
+        expected = ((prediction.snapshot << 1) | int(actual)) & predictor.history.mask
+        assert predictor.history.value == expected
+
+    def test_reset(self):
+        predictor = GAgPredictor(history_bits=4)
+        teach(predictor, 3, True, times=8)
+        predictor.reset()
+        assert predictor.history.value == 0
+
+
+class TestGselect:
+    def test_index_concatenates_pc_and_history(self):
+        predictor = GselectPredictor(table_size=256, history_bits=4)
+        # 8 index bits: 4 history, 4 pc
+        prediction = predictor.predict(0b1010)
+        assert prediction.index == 0b1010  # empty history
+
+    def test_learns_correlation_and_separates_sites(self):
+        predictor = GselectPredictor(table_size=1024, history_bits=4)
+        teach(predictor, 5, True, times=8)
+        teach(predictor, 6, False, times=8)
+        assert predictor.predict(5).taken
+        assert not predictor.predict(6).taken
+
+    def test_history_cannot_consume_whole_index(self):
+        with pytest.raises(ValueError):
+            GselectPredictor(table_size=64, history_bits=6)
+
+    def test_factory(self):
+        assert make_predictor("gselect").name == "gselect"
+
+
+class TestPAs:
+    def test_learns_local_pattern(self):
+        predictor = PAsPredictor(history_entries=64, history_bits=6, pht_size=256)
+        outcome = False
+        correct = 0
+        total = 0
+        for round_number in range(300):
+            outcome = not outcome
+            prediction = predictor.predict(10)
+            predictor.resolve(10, outcome, prediction)
+            if round_number > 150:
+                total += 1
+                correct += prediction.taken == outcome
+        assert correct / total > 0.95
+
+    def test_tags_prevent_history_aliasing(self):
+        """Unlike SAg, a colliding branch sees an empty history, not the
+        other branch's bits."""
+        predictor = PAsPredictor(history_entries=4, history_bits=6, pht_size=64)
+        teach(predictor, 1, True, times=5)
+        # pc 5 collides with pc 1 (4-entry table)
+        prediction = predictor.predict(5)
+        assert prediction.history == 0
+
+    def test_eviction_reallocates(self):
+        predictor = PAsPredictor(history_entries=4, history_bits=6, pht_size=64)
+        teach(predictor, 1, True, times=3)
+        teach(predictor, 5, False, times=2)  # evicts pc 1
+        assert predictor.evictions == 1
+        assert predictor._lookup(1) == 0  # pc 1 lost its history
+        assert predictor._lookup(5) == 0b00  # two not-taken bits
+
+    def test_pattern_estimator_wires_to_pas(self):
+        estimator = PatternHistoryEstimator.for_predictor(PAsPredictor())
+        assert estimator.history_bits == 10
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            PAsPredictor(history_entries=3)
+
+    def test_reset(self):
+        predictor = PAsPredictor(history_entries=8, history_bits=4, pht_size=64)
+        teach(predictor, 1, True, times=3)
+        predictor.reset()
+        assert predictor._lookup(1) == 0
+        assert predictor.evictions == 0
+
+
+class TestSuiteBehaviour:
+    def test_gshare_beats_gag_on_workloads(self):
+        """PC bits in the index matter: gshare >= GAg on real streams."""
+        from repro.engine import measure_accuracy, workload_run
+        from repro.predictors import GsharePredictor
+
+        trace = workload_run("gcc", 120).trace
+        gshare = measure_accuracy(trace, GsharePredictor()).accuracy
+        gag = measure_accuracy(trace, GAgPredictor()).accuracy
+        assert gshare > gag
+
+    def test_pas_close_to_sag(self):
+        from repro.engine import measure_accuracy, workload_run
+        from repro.predictors import SAgPredictor
+
+        trace = workload_run("m88ksim", 120).trace
+        sag = measure_accuracy(trace, SAgPredictor()).accuracy
+        pas = measure_accuracy(
+            trace, PAsPredictor(history_entries=2048, history_bits=13, pht_size=8192)
+        ).accuracy
+        assert abs(sag - pas) < 0.05

@@ -1,0 +1,102 @@
+"""Tests for prediction inversion (the §2.2 negative result)."""
+
+import pytest
+
+from repro.confidence import JRSEstimator, MispredictionDistanceEstimator
+from repro.engine import measure_accuracy, workload_run
+from repro.predictors import GsharePredictor
+from repro.speculation import (
+    InvertingPredictor,
+    evaluate_inversion,
+)
+
+
+class TestInvertingPredictor:
+    def test_flips_low_confidence_directions(self):
+        base = GsharePredictor(table_size=64)
+        # JRS threshold 16 is unreachable: everything low-confidence
+        wrapper = InvertingPredictor(base, JRSEstimator(table_size=64, threshold=16))
+        reference = GsharePredictor(table_size=64)
+        for pc in (1, 2, 3, 4):
+            flipped = wrapper.predict(pc)
+            plain = reference.predict(pc)
+            assert flipped.taken != plain.taken
+            wrapper.resolve(pc, plain.taken, flipped)
+            reference.resolve(pc, plain.taken, plain)
+        assert wrapper.flips == 4
+
+    def test_high_confidence_directions_pass_through(self):
+        base = GsharePredictor(table_size=64)
+        # threshold 0 marks everything high-confidence
+        wrapper = InvertingPredictor(base, JRSEstimator(table_size=64, threshold=0))
+        reference = GsharePredictor(table_size=64)
+        prediction = wrapper.predict(7)
+        assert prediction.taken == reference.predict(7).taken
+        assert wrapper.flips == 0
+
+    def test_underlying_predictor_trains_unchanged(self):
+        """The wrapper must not perturb the substrate's learning."""
+        trace = list(workload_run("compress", 40).trace)
+        wrapped_base = GsharePredictor()
+        wrapper = InvertingPredictor(
+            wrapped_base, MispredictionDistanceEstimator(4)
+        )
+        for pc, taken in trace:
+            prediction = wrapper.predict(pc)
+            wrapper.resolve(pc, taken, prediction)
+        reference = GsharePredictor()
+        for pc, taken in trace:
+            prediction = reference.predict(pc)
+            reference.resolve(pc, taken, prediction)
+        assert wrapped_base.table.values == reference.table.values
+        assert wrapped_base.history.value == reference.history.value
+
+    def test_reset(self):
+        wrapper = InvertingPredictor(
+            GsharePredictor(table_size=64),
+            JRSEstimator(table_size=64, threshold=16),
+        )
+        wrapper.predict(1)
+        wrapper.reset()
+        assert wrapper.flips == 0
+
+
+class TestEvaluateInversion:
+    def test_ledger_identities(self, compress_trace):
+        result = evaluate_inversion(
+            compress_trace, GsharePredictor(), JRSEstimator(threshold=15)
+        )
+        assert result.branches == len(compress_trace)
+        assert result.flips == result.flips_helped + result.flips_hurt
+        assert result.accuracy_delta == pytest.approx(
+            (result.flips_helped - result.flips_hurt) / result.branches
+        )
+        assert result.flip_pvn == pytest.approx(
+            result.flips_helped / result.flips
+        )
+
+    def test_base_accuracy_matches_measure(self, compress_trace):
+        result = evaluate_inversion(
+            compress_trace, GsharePredictor(), JRSEstimator(threshold=15)
+        )
+        reference = measure_accuracy(compress_trace, GsharePredictor())
+        assert result.base_accuracy == pytest.approx(reference.accuracy)
+
+    def test_break_even_is_pvn_fifty_percent(self, compress_trace):
+        result = evaluate_inversion(
+            compress_trace, GsharePredictor(), JRSEstimator(threshold=15)
+        )
+        if result.flip_pvn < 0.5:
+            assert result.accuracy_delta < 0
+        else:
+            assert result.accuracy_delta >= 0
+
+    def test_papers_negative_result_holds_here(self):
+        """No standard estimator config turns inversion into a win."""
+        for threshold in (8, 15):
+            for workload in ("compress", "go"):
+                trace = workload_run(workload, 100).trace
+                result = evaluate_inversion(
+                    trace, GsharePredictor(), JRSEstimator(threshold=threshold)
+                )
+                assert result.accuracy_delta < 0, (workload, threshold)

@@ -1,0 +1,121 @@
+"""Tests for the workload generator and the benchmark profiles."""
+
+import pytest
+
+from repro.engine import trace_branches
+from repro.isa import Machine
+from repro.workloads import (
+    SUITE,
+    all_profiles,
+    generate_program,
+    generate_source,
+    get_profile,
+)
+from repro.workloads.generator import GuardSpec, WorkloadProfile
+from repro.workloads.sites import BiasedSite
+
+
+class TestGenerator:
+    def test_source_is_assemblable_for_every_profile(self):
+        for profile in all_profiles():
+            program = generate_program(profile, iterations=2)
+            assert len(program) > 10
+
+    def test_every_profile_runs_to_halt(self):
+        for name in SUITE:
+            program = generate_program(get_profile(name), iterations=3)
+            machine = Machine(program)
+            machine.run(max_steps=500_000)
+            assert machine.halted, f"{name} did not halt"
+
+    def test_generation_is_deterministic(self):
+        first = generate_source(get_profile("gcc"), iterations=5)
+        second = generate_source(get_profile("gcc"), iterations=5)
+        assert first == second
+
+    def test_trace_is_deterministic(self):
+        one = trace_branches(generate_program(get_profile("perl"), iterations=20))
+        two = trace_branches(generate_program(get_profile("perl"), iterations=20))
+        assert list(one.trace) == list(two.trace)
+
+    def test_iterations_scale_instruction_count(self):
+        profile = get_profile("compress")
+        small = trace_branches(generate_program(profile, iterations=10))
+        large = trace_branches(generate_program(profile, iterations=40))
+        assert large.stats.instructions > 3 * small.stats.instructions
+
+    def test_iterations_must_be_positive(self):
+        with pytest.raises(ValueError):
+            generate_source(get_profile("gcc"), iterations=0)
+
+    def test_guarded_block_is_sometimes_skipped(self):
+        site = BiasedSite(threshold=512, field_shift=15)
+        guarded = WorkloadProfile(
+            name="guarded",
+            description="one guarded site",
+            sites=(site,),
+            guards={0: GuardSpec(field_shift=17, threshold=512)},
+        )
+        traced = trace_branches(generate_program(guarded, iterations=400))
+        by_pc = {}
+        for pc, taken in traced.trace:
+            by_pc.setdefault(pc, []).append(taken)
+        counts = sorted(len(seq) for seq in by_pc.values())
+        # the guard runs every iteration, the site only ~half the time
+        assert counts[0] < 300
+        assert counts[-1] >= 400
+
+    def test_subroutine_profiles_use_calls(self):
+        source = generate_source(get_profile("gcc"), iterations=1)
+        assert "jal sub_0" in source
+        assert "jr r31" in source
+
+    def test_guard_index_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                name="bad",
+                description="guard out of range",
+                sites=(BiasedSite(threshold=10, field_shift=15),),
+                guards={5: GuardSpec(field_shift=15, threshold=10)},
+            )
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="empty", description="", sites=())
+
+
+class TestProfiles:
+    def test_suite_has_eight_benchmarks(self):
+        assert len(SUITE) == 8
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_profile("specfp")
+
+    def test_profiles_have_distinct_site_populations(self):
+        gcc = get_profile("gcc")
+        compress = get_profile("compress")
+        assert len(gcc.sites) > 2 * len(compress.sites)
+
+    def test_branch_fraction_is_realistic(self):
+        """SPECint-like: roughly a branch every 4-7 instructions."""
+        for name in SUITE:
+            traced = trace_branches(
+                generate_program(get_profile(name), iterations=30)
+            )
+            assert 0.12 <= traced.stats.branch_fraction <= 0.35, name
+
+    def test_predictability_ordering_matches_paper(self):
+        """go must be the hardest workload, vortex among the easiest."""
+        from repro.engine import measure_accuracy
+        from repro.predictors import GsharePredictor
+
+        accuracy = {}
+        for name in ("go", "vortex", "gcc"):
+            traced = trace_branches(
+                generate_program(get_profile(name), iterations=150)
+            )
+            accuracy[name] = measure_accuracy(
+                traced.trace, GsharePredictor()
+            ).accuracy
+        assert accuracy["go"] < accuracy["gcc"] < accuracy["vortex"]

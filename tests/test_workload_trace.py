@@ -1,0 +1,115 @@
+"""Tests for the branch-trace container and file format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import BranchTrace, convert_text_trace
+
+
+def make_trace(records):
+    return BranchTrace.from_records(records, name="t")
+
+
+class TestBranchTrace:
+    def test_from_records_and_iteration(self):
+        trace = make_trace([(10, True), (20, False), (10, True)])
+        assert len(trace) == 3
+        assert list(trace) == [(10, True), (20, False), (10, True)]
+
+    def test_indexing(self):
+        trace = make_trace([(5, False), (6, True)])
+        assert trace[1] == (6, True)
+
+    def test_taken_statistics(self):
+        trace = make_trace([(1, True), (2, False), (3, True), (4, True)])
+        assert trace.taken_count == 3
+        assert trace.taken_rate == pytest.approx(0.75)
+
+    def test_static_sites(self):
+        trace = make_trace([(9, True), (3, False), (9, False)])
+        assert trace.static_sites() == [3, 9]
+
+    def test_empty_trace(self):
+        trace = BranchTrace.empty()
+        assert len(trace) == 0
+        assert trace.taken_rate == 0.0
+
+    def test_length_mismatch_rejected(self):
+        from array import array
+
+        with pytest.raises(ValueError):
+            BranchTrace(pcs=array("L", [1, 2]), outcomes=bytearray([1]))
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = make_trace([(100, True), (200, False)] * 50)
+        path = str(tmp_path / "trace.rbt")
+        trace.save(path)
+        loaded = BranchTrace.load(path)
+        assert list(loaded) == list(trace)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        trace = make_trace([(7, True)] * 10)
+        path = str(tmp_path / "trace.rbt.gz")
+        trace.save(path)
+        assert list(BranchTrace.load(path)) == list(trace)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.rbt"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(ValueError, match="magic"):
+            BranchTrace.load(str(path))
+
+    def test_truncated_file_rejected(self, tmp_path):
+        trace = make_trace([(1, True)] * 100)
+        path = tmp_path / "trace.rbt"
+        trace.save(str(path))
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(ValueError, match="truncated"):
+            BranchTrace.load(str(path))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1), st.booleans()
+            ),
+            max_size=200,
+        )
+    )
+    def test_roundtrip_property(self, records):
+        import os
+        import tempfile
+
+        trace = make_trace(records)
+        fd, path = tempfile.mkstemp(suffix=".rbt")
+        os.close(fd)
+        try:
+            trace.save(path)
+            assert list(BranchTrace.load(path)) == records
+        finally:
+            os.unlink(path)
+
+
+class TestConversion:
+    def test_convert_text_trace(self):
+        lines = [
+            "# a converted trace",
+            "0x10 T",
+            "17 N",
+            "",
+            "18 1  # taken",
+            "19 0",
+        ]
+        trace = convert_text_trace(lines)
+        assert list(trace) == [(16, True), (17, False), (18, True), (19, False)]
+
+    def test_bad_outcome_rejected(self):
+        with pytest.raises(ValueError, match="outcome"):
+            convert_text_trace(["5 X"])
+
+    def test_bad_field_count_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            convert_text_trace(["5 T T"])
