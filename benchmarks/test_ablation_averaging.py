@@ -6,7 +6,7 @@ two disciplines disagree on the actual Table 2 data -- the reason the
 paper spells its method out.
 """
 
-from conftest import BENCH_SCALE, save_result
+from conftest import BENCH_SCALE
 
 from repro.harness import run_experiment
 from repro.harness.experiments import _table2_measurements

@@ -1,0 +1,51 @@
+"""Bench the artifact cache: warm reruns must skip re-simulation.
+
+Runs a small battery cold (empty cache) and warm (second pass over the
+same cache) and checks the contract the harness relies on: identical
+rendered tables, a 100% hit rate on the warm pass, and strictly less
+simulated work.
+"""
+
+from repro.engine import SIMULATION_COUNTERS
+from repro.engine.cache import configure, get_cache
+from repro.engine.corpus import clear_cache
+from repro.harness import SMOKE, clear_memoised, run_all
+
+
+def _drop_memo():
+    """Forget in-process memoisation but keep the disk cache."""
+    clear_memoised()
+    clear_cache()
+
+
+def test_warm_cache_skips_resimulation(benchmark, tmp_path):
+    previous = get_cache()
+    try:
+        configure(root=tmp_path / "artifacts", enabled=True)
+        clear_memoised()
+        clear_cache()
+        selected = ["tab2", "fig6"]
+
+        cold_base = SIMULATION_COUNTERS.snapshot()
+        cold = run_all(scale=SMOKE, only=selected)
+        cold_work = SIMULATION_COUNTERS.since(cold_base).branches
+        cold_stats = get_cache().stats.snapshot()
+        assert cold_stats.writes > 0, "cold run should populate the cache"
+
+        _drop_memo()
+        warm_base = SIMULATION_COUNTERS.snapshot()
+        warm = benchmark.pedantic(
+            lambda: run_all(scale=SMOKE, only=selected), rounds=1, iterations=1
+        )
+        warm_work = SIMULATION_COUNTERS.since(warm_base).branches
+        warm_delta = get_cache().stats.since(cold_stats)
+
+        for experiment_id in selected:
+            assert warm[experiment_id].to_text() == cold[experiment_id].to_text()
+        assert warm_delta.misses == 0, "warm pass must be all hits"
+        assert warm_delta.hits > 0
+        assert warm_work < cold_work, "warm pass must re-simulate less"
+    finally:
+        configure(root=previous.root, enabled=previous.enabled)
+        clear_memoised()
+        clear_cache()

@@ -54,7 +54,7 @@ def main() -> None:
     # 4. the quadrant table itself, for one estimator
     quadrant = result.quadrants["JRS (>=15, enhanced)"].normalized()
     print("\nJRS quadrant frequencies (paper §2 presentation):")
-    print(f"              correct   incorrect")
+    print("              correct   incorrect")
     print(f"  high conf   {quadrant.c_hc:7.1%}   {quadrant.i_hc:9.1%}")
     print(f"  low conf    {quadrant.c_lc:7.1%}   {quadrant.i_lc:9.1%}")
 

@@ -15,7 +15,7 @@ simulations into one pass per table size.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from ..metrics.quadrant import QuadrantCounts
 from ..predictors.base import BranchPredictor

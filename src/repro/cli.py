@@ -4,7 +4,9 @@ Usage examples::
 
     repro list                         # experiments and workloads
     repro run tab2                     # one experiment, full scale
+    repro run --scale smoke --jobs 4   # whole battery, small + parallel
     repro run-all --out report.txt     # the whole battery
+    repro cache info                   # artifact-cache contents
     repro workload gcc --iterations 50 # inspect a synthetic workload
     repro trace gcc out.rbt.gz         # dump a branch trace file
 """
@@ -15,39 +17,85 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .engine import cache as artifact_cache
 from .engine import trace_branches, workload_program, workload_run
-from .harness import EXPERIMENTS, FULL, Scale, render_report, run_all, run_experiment
+from .harness import (
+    EXPERIMENTS,
+    SCALES,
+    Scale,
+    default_jobs,
+    render_report,
+    run_all,
+    run_experiment,
+)
 from .harness.plot import distance_chart, figure1_chart, sweep_chart
 from .workloads import SUITE, generate_source, get_profile
 
 
 def _scale_from_args(args: argparse.Namespace) -> Scale:
-    workloads = tuple(args.workloads.split(",")) if args.workloads else SUITE
+    preset = SCALES[getattr(args, "scale", "full")]
+    iterations = args.iterations if args.iterations is not None else preset.iterations
+    pipeline_instructions = (
+        args.pipeline_instructions
+        if args.pipeline_instructions is not None
+        else preset.pipeline_instructions
+    )
+    workloads = (
+        tuple(args.workloads.split(",")) if args.workloads else preset.workloads
+    )
     return Scale(
-        iterations=args.iterations,
-        pipeline_instructions=args.pipeline_instructions,
+        iterations=iterations,
+        pipeline_instructions=pipeline_instructions,
         workloads=workloads,
     )
 
 
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="full",
+        help="scale preset; explicit flags below override its values",
+    )
+    parser.add_argument(
         "--iterations",
         type=int,
         default=None,
-        help="outer-loop iterations per workload (default: profile value)",
+        help="outer-loop iterations per workload (default: preset/profile value)",
     )
     parser.add_argument(
         "--pipeline-instructions",
         type=int,
-        default=FULL.pipeline_instructions,
+        default=None,
         help="committed-instruction budget for pipeline experiments",
     )
     parser.add_argument(
         "--workloads",
         default=None,
-        help="comma-separated workload subset (default: full suite)",
+        help="comma-separated workload subset (default: preset suite)",
     )
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the battery (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk artifact cache for this invocation",
+    )
+
+
+def _resolve_execution(args: argparse.Namespace) -> int:
+    """Apply --no-cache and resolve the worker count."""
+    if getattr(args, "no_cache", False):
+        artifact_cache.configure(enabled=False)
+    jobs = getattr(args, "jobs", None)
+    return max(1, jobs) if jobs is not None else default_jobs()
 
 
 def _command_list(args: argparse.Namespace) -> int:
@@ -63,15 +111,27 @@ def _command_list(args: argparse.Namespace) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment, _scale_from_args(args))
+    jobs = _resolve_execution(args)
+    scale = _scale_from_args(args)
+    if args.experiment is None:
+        # no experiment named: run the whole battery as a report
+        results = run_all(scale, jobs=jobs)
+        print(render_report(results, scale))
+        return 0
+    if jobs > 1:
+        results = run_all(scale, only=[args.experiment], jobs=jobs)
+        result = results[args.experiment]
+    else:
+        result = run_experiment(args.experiment, scale)
     print(result.to_json() if args.json else result.to_text())
     return 0
 
 
 def _command_run_all(args: argparse.Namespace) -> int:
+    jobs = _resolve_execution(args)
     scale = _scale_from_args(args)
     only = args.only.split(",") if args.only else None
-    results = run_all(scale, only=only)
+    results = run_all(scale, only=only, jobs=jobs)
     report = render_report(results, scale)
     if args.out:
         with open(args.out, "w") as handle:
@@ -79,6 +139,22 @@ def _command_run_all(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         print(report)
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    cache = artifact_cache.get_cache()
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached artifacts from {cache.root}")
+        return 0
+    info = cache.info()
+    print(f"cache directory: {info['root']}")
+    print(f"enabled:         {info['enabled']}")
+    print(f"version salt:    {info['salt']}")
+    print(f"entries:         {info['files']} files, {info['bytes']:,} bytes")
+    for kind, detail in info["kinds"].items():
+        print(f"  {kind:14s} {detail['files']:4d} files  {detail['bytes']:,} bytes")
     return 0
 
 
@@ -154,17 +230,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list experiments and workloads")
 
-    run_parser = subparsers.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment (or the whole battery if omitted)"
+    )
+    run_parser.add_argument(
+        "experiment", nargs="?", default=None, choices=sorted(EXPERIMENTS)
+    )
     run_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     _add_scale_arguments(run_parser)
+    _add_execution_arguments(run_parser)
 
     run_all_parser = subparsers.add_parser("run-all", help="run the whole battery")
     run_all_parser.add_argument("--only", default=None, help="comma-separated ids")
     run_all_parser.add_argument("--out", default=None, help="write report to a file")
     _add_scale_arguments(run_all_parser)
+    _add_execution_arguments(run_all_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk artifact cache"
+    )
+    cache_parser.add_argument(
+        "cache_command",
+        choices=("info", "clear"),
+        help="info: show location/size/hit-rates; clear: delete all entries",
+    )
 
     plot_parser = subparsers.add_parser(
         "plot", help="render a figure experiment as an ASCII chart"
@@ -195,6 +286,7 @@ _COMMANDS = {
     "list": _command_list,
     "run": _command_run,
     "run-all": _command_run_all,
+    "cache": _command_cache,
     "plot": _command_plot,
     "workload": _command_workload,
     "trace": _command_trace,

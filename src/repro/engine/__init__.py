@@ -1,13 +1,22 @@
 """Trace-driven measurement engine."""
 
-from .corpus import clear_cache, workload_program, workload_run
+from .cache import ArtifactCache, CacheStats, configure, get_cache
+from .corpus import clear_cache, profile_fingerprint, workload_program, workload_run
+from .counters import SIMULATION_COUNTERS, SimulationCounters
 from .measure import MeasurementResult, Observer, measure, measure_accuracy
 from .tracer import TracedRun, TraceRunStats, trace_branches
 
 __all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "configure",
+    "get_cache",
     "clear_cache",
+    "profile_fingerprint",
     "workload_program",
     "workload_run",
+    "SIMULATION_COUNTERS",
+    "SimulationCounters",
     "MeasurementResult",
     "Observer",
     "measure",

@@ -1,0 +1,286 @@
+"""Content-addressed on-disk artifact cache.
+
+The expensive intermediates of the experiment battery -- generated
+workload traces, pipeline branch-record streams, static-estimator
+profiles and full estimator measurements -- are pure functions of
+(workload profile, scale, generator/pipeline configuration).  This
+module persists them across processes so that a warm rerun of the
+battery, a pytest session, or a pool of parallel workers pays each
+simulation exactly once per machine instead of once per process.
+
+Keys are content addresses: a SHA-256 over the artifact *kind*, every
+parameter that feeds the computation (including a fingerprint of the
+workload profile and the pipeline configuration) and a code-version
+salt that is bumped whenever simulator semantics change.  A stale or
+corrupt cache entry can therefore never be confused with a valid one;
+unreadable files are treated as misses and recomputed.
+
+Environment knobs:
+
+* ``REPRO_CACHE=0`` (or ``off``/``false``/``no``) disables the cache.
+* ``REPRO_CACHE_DIR`` overrides the cache directory (default
+  ``$XDG_CACHE_HOME/repro`` or ``~/.cache/repro``).
+
+The CLI exposes the same controls as ``repro cache {info,clear}`` and
+``repro --no-cache ...``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+#: Bump whenever a change to the generator/tracer/pipeline/estimator
+#: code alters what any cached artifact would contain.
+CODE_SALT = "repro-artifacts-v1"
+
+ENABLE_ENV = "REPRO_CACHE"
+DIR_ENV = "REPRO_CACHE_DIR"
+
+_FALSE_VALUES = {"0", "off", "false", "no"}
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    errors: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.writes += other.writes
+        self.errors += other.errors
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.writes, self.errors)
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            writes=self.writes - earlier.writes,
+            errors=self.errors - earlier.errors,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "errors": self.errors,
+        }
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory from the environment."""
+    override = os.environ.get(DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def cache_enabled_by_env() -> bool:
+    return os.environ.get(ENABLE_ENV, "1").strip().lower() not in _FALSE_VALUES
+
+
+@dataclass
+class ArtifactCache:
+    """A directory of pickled artifacts addressed by content hash."""
+
+    root: Path
+    enabled: bool = True
+    salt: str = CODE_SALT
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+
+    def key(self, kind: str, **parts: Any) -> str:
+        """Content address for one artifact.
+
+        ``parts`` must be JSON-representable (tuples become lists);
+        insertion order does not matter.
+        """
+        payload = json.dumps(
+            {"kind": kind, "salt": self.salt, "parts": parts},
+            sort_keys=True,
+            default=str,
+        )
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return f"{kind}-{digest[:40]}"
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # load / store
+    # ------------------------------------------------------------------
+
+    def load(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; a corrupt entry counts as a miss."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return False, None
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except Exception:
+            # truncated/corrupt/unreadable entry: drop it and recompute
+            self.stats.misses += 1
+            self.stats.errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def store(self, key: str, value: Any) -> None:
+        """Persist ``value`` atomically (safe under concurrent writers)."""
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=str(self.root), prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_name, path)
+            finally:
+                if os.path.exists(temp_name):
+                    try:
+                        os.unlink(temp_name)
+                    except OSError:
+                        pass
+        except OSError:
+            # a read-only or full disk never breaks the computation
+            self.stats.errors += 1
+            return
+        self.stats.writes += 1
+
+    def cached(self, kind: str, compute: Callable[[], T], **parts: Any) -> T:
+        """``compute()`` memoised under ``key(kind, **parts)``."""
+        key = self.key(kind, **parts)
+        hit, value = self.load(key)
+        if hit:
+            return value
+        value = compute()
+        self.store(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # management
+    # ------------------------------------------------------------------
+
+    def entries(self) -> Dict[str, Tuple[int, int]]:
+        """Per-kind ``(files, bytes)`` breakdown of the cache directory."""
+        breakdown: Dict[str, Tuple[int, int]] = {}
+        if not self.root.is_dir():
+            return breakdown
+        for path in self.root.glob("*.pkl"):
+            kind = path.stem.rsplit("-", 1)[0]
+            files, size = breakdown.get(kind, (0, 0))
+            try:
+                size += path.stat().st_size
+            except OSError:
+                continue
+            breakdown[kind] = (files + 1, size)
+        return breakdown
+
+    def info(self) -> Dict[str, Any]:
+        breakdown = self.entries()
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "salt": self.salt,
+            "files": sum(files for files, __ in breakdown.values()),
+            "bytes": sum(size for __, size in breakdown.values()),
+            "kinds": {
+                kind: {"files": files, "bytes": size}
+                for kind, (files, size) in sorted(breakdown.items())
+            },
+            "stats": self.stats.as_dict(),
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in list(self.root.glob("*.pkl")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+
+# ----------------------------------------------------------------------
+# process-wide active cache
+# ----------------------------------------------------------------------
+
+_ACTIVE: Optional[ArtifactCache] = None
+
+
+def get_cache() -> ArtifactCache:
+    """The process-wide cache (created lazily from the environment)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = ArtifactCache(
+            root=default_cache_dir(), enabled=cache_enabled_by_env()
+        )
+    return _ACTIVE
+
+
+def configure(
+    root: Optional[os.PathLike] = None, enabled: Optional[bool] = None
+) -> ArtifactCache:
+    """Replace the active cache (tests and the CLI use this).
+
+    The environment is updated to match so that worker processes
+    spawned afterwards (see :mod:`repro.harness.parallel`) agree with
+    the parent about location and enablement.
+    """
+    global _ACTIVE
+    current = get_cache()
+    new_root = Path(root) if root is not None else current.root
+    new_enabled = current.enabled if enabled is None else enabled
+    os.environ[DIR_ENV] = str(new_root)
+    os.environ[ENABLE_ENV] = "1" if new_enabled else "0"
+    _ACTIVE = ArtifactCache(root=new_root, enabled=new_enabled)
+    return _ACTIVE
+
+
+def reset_active_cache() -> None:
+    """Forget the active cache; the next use re-reads the environment."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def merge_stats(stats: CacheStats) -> None:
+    """Fold a worker's cache counters into the active cache's stats."""
+    get_cache().stats.merge(stats)

@@ -1,0 +1,53 @@
+"""Process-wide simulation throughput counters.
+
+Every simulation loop (trace replay in :mod:`repro.engine.measure`,
+functional tracing in :mod:`repro.engine.corpus`) reports how many
+branches it processed and how long it took.  The harness snapshots the
+counters around a battery run and the report renderer turns the delta
+into a branches-per-second figure, so speedups from caching and
+parallelism are visible directly in ``EXPERIMENTS.md``-style output.
+
+Parallel workers carry their own process-local instance; the scheduler
+ships deltas back to the parent and folds them in with ``merge``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SimulationCounters:
+    """Branches simulated and wall time spent simulating them."""
+
+    branches: int = 0
+    seconds: float = 0.0
+
+    def record(self, branches: int, seconds: float) -> None:
+        self.branches += branches
+        self.seconds += seconds
+
+    def merge(self, other: "SimulationCounters") -> None:
+        self.branches += other.branches
+        self.seconds += other.seconds
+
+    def snapshot(self) -> "SimulationCounters":
+        return SimulationCounters(branches=self.branches, seconds=self.seconds)
+
+    def since(self, earlier: "SimulationCounters") -> "SimulationCounters":
+        return SimulationCounters(
+            branches=self.branches - earlier.branches,
+            seconds=self.seconds - earlier.seconds,
+        )
+
+    @property
+    def branches_per_second(self) -> float:
+        return self.branches / self.seconds if self.seconds > 0 else 0.0
+
+    def reset(self) -> None:
+        self.branches = 0
+        self.seconds = 0.0
+
+
+#: The process-wide instance.
+SIMULATION_COUNTERS = SimulationCounters()

@@ -13,12 +13,14 @@ the predictor simulation, which dominates the cost.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Mapping, Sequence, Tuple
 
 from ..confidence.base import ConfidenceEstimator
 from ..metrics.quadrant import QuadrantCounts
 from ..predictors.base import BranchPredictor
+from .counters import SIMULATION_COUNTERS
 
 #: Observer signature: (pc, predicted_taken, actual_taken,
 #: {estimator name: high_confidence}).  Called once per branch, after
@@ -34,6 +36,8 @@ class MeasurementResult:
     branches: int
     mispredictions: int
     quadrants: Dict[str, QuadrantCounts] = field(default_factory=dict)
+    #: Wall time the measurement loop took, for throughput reporting.
+    elapsed_s: float = 0.0
 
     @property
     def accuracy(self) -> float:
@@ -46,6 +50,10 @@ class MeasurementResult:
     @property
     def misprediction_rate(self) -> float:
         return self.mispredictions / self.branches if self.branches else 0.0
+
+    @property
+    def branches_per_second(self) -> float:
+        return self.branches / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
     def quadrant(self, estimator_name: str) -> QuadrantCounts:
         return self.quadrants[estimator_name]
@@ -68,6 +76,7 @@ def measure(
     predictor_resolve = predictor.resolve
     branches = 0
     mispredictions = 0
+    started = time.perf_counter()
 
     for pc, taken in trace:
         prediction = predict(pc)
@@ -91,11 +100,14 @@ def measure(
             estimator.resolve(pc, prediction, taken, assessment)
             quadrants[name].record(correct, assessment.high_confidence)
 
+    elapsed = time.perf_counter() - started
+    SIMULATION_COUNTERS.record(branches=branches, seconds=elapsed)
     return MeasurementResult(
         predictor_name=predictor.name,
         branches=branches,
         mispredictions=mispredictions,
         quadrants=quadrants,
+        elapsed_s=elapsed,
     )
 
 

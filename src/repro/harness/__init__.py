@@ -4,22 +4,33 @@ from .experiments import (
     EXPERIMENTS,
     FULL,
     QUICK,
+    SCALES,
+    SMOKE,
     ExperimentResult,
     Scale,
+    clear_memoised,
     run_experiment,
     standard_estimators,
 )
-from .runner import render_report, run_all
+from .parallel import default_jobs, plan_warm_tasks, run_parallel
+from .runner import render_performance, render_report, run_all
 from .tables import TextTable, pct, pct1
 
 __all__ = [
     "EXPERIMENTS",
     "FULL",
     "QUICK",
+    "SCALES",
+    "SMOKE",
     "ExperimentResult",
     "Scale",
+    "clear_memoised",
     "run_experiment",
     "standard_estimators",
+    "default_jobs",
+    "plan_warm_tasks",
+    "run_parallel",
+    "render_performance",
     "render_report",
     "run_all",
     "TextTable",

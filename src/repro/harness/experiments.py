@@ -7,8 +7,11 @@ experiment ids used throughout DESIGN.md / EXPERIMENTS.md to these
 functions.
 
 Heavy intermediate products (workload traces, pipeline branch records,
-static-estimator profiles) are memoised per scale so that running the
-whole battery costs each simulation once.
+static-estimator profiles, per-workload estimator measurements) are
+memoised per scale in process *and* persisted in the content-addressed
+artifact cache (:mod:`repro.engine.cache`), so the whole battery costs
+each simulation once per machine -- warm reruns, pytest sessions and
+parallel workers (:mod:`repro.harness.parallel`) all share them.
 """
 
 from __future__ import annotations
@@ -39,7 +42,14 @@ from ..confidence import (
     boosted_pvn,
     profile_confident_sites,
 )
-from ..engine import measure, measure_accuracy, workload_program, workload_run
+from ..engine import (
+    get_cache,
+    measure,
+    measure_accuracy,
+    profile_fingerprint,
+    workload_program,
+    workload_run,
+)
 from ..metrics import QuadrantCounts, average_quadrants, figure1_family
 from ..pipeline import PipelineConfig, PipelineSimulator
 from ..predictors import make_predictor
@@ -79,6 +89,15 @@ class Scale:
 
 FULL = Scale()
 QUICK = Scale(iterations=120, pipeline_instructions=20_000)
+#: Tiny battery for CI smoke runs and parallel-equivalence tests.
+SMOKE = Scale(
+    iterations=60,
+    pipeline_instructions=8_000,
+    workloads=("compress", "vortex"),
+)
+
+#: Named scale presets the CLI exposes as ``--scale``.
+SCALES: Dict[str, Scale] = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
 
 
 @dataclass
@@ -89,6 +108,10 @@ class ExperimentResult:
     title: str
     tables: List[TextTable] = field(default_factory=list)
     data: Dict = field(default_factory=dict)
+    #: Wall time the experiment took (stamped by the runner/scheduler);
+    #: deliberately excluded from to_text/to_json so tables stay
+    #: byte-identical across serial, parallel and cached runs.
+    duration_s: Optional[float] = None
 
     def to_text(self) -> str:
         parts = [f"## {self.experiment_id}: {self.title}"]
@@ -119,7 +142,7 @@ class ExperimentResult:
 
 
 # ----------------------------------------------------------------------
-# shared memoised products
+# shared memoised products (in-process lru over the persistent cache)
 # ----------------------------------------------------------------------
 
 
@@ -128,8 +151,7 @@ def _trace(workload: str, iterations: Optional[int]):
     return workload_run(workload, iterations).trace
 
 
-@lru_cache(maxsize=256)
-def _static_sites(
+def _compute_static_sites(
     workload: str, predictor_name: str, iterations: Optional[int]
 ) -> frozenset:
     trace = _trace(workload, iterations)
@@ -138,13 +160,27 @@ def _static_sites(
     )
 
 
-@lru_cache(maxsize=64)
-def _pipeline_result(
+@lru_cache(maxsize=256)
+def _static_sites(
+    workload: str, predictor_name: str, iterations: Optional[int]
+) -> frozenset:
+    return get_cache().cached(
+        "static-sites",
+        lambda: _compute_static_sites(workload, predictor_name, iterations),
+        workload=workload,
+        predictor=predictor_name,
+        iterations=iterations,
+        threshold=0.90,
+        profile=profile_fingerprint(workload),
+    )
+
+
+def _compute_pipeline_result(
     workload: str,
     predictor_name: str,
     iterations: Optional[int],
     max_instructions: int,
-    with_estimators: bool = False,
+    with_estimators: bool,
 ):
     program = workload_program(workload, iterations)
     predictor = make_predictor(predictor_name)
@@ -158,6 +194,29 @@ def _pipeline_result(
         program, predictor, config=PipelineConfig(), estimators=estimators
     )
     return simulator.run(max_instructions=max_instructions)
+
+
+@lru_cache(maxsize=64)
+def _pipeline_result(
+    workload: str,
+    predictor_name: str,
+    iterations: Optional[int],
+    max_instructions: int,
+    with_estimators: bool = False,
+):
+    return get_cache().cached(
+        "pipeline",
+        lambda: _compute_pipeline_result(
+            workload, predictor_name, iterations, max_instructions, with_estimators
+        ),
+        workload=workload,
+        predictor=predictor_name,
+        iterations=iterations,
+        max_instructions=max_instructions,
+        with_estimators=with_estimators,
+        profile=profile_fingerprint(workload),
+        config=repr(PipelineConfig()),
+    )
 
 
 def standard_estimators(predictor_name: str, predictor, workload: str, scale: Scale):
@@ -174,21 +233,56 @@ def standard_estimators(predictor_name: str, predictor, workload: str, scale: Sc
     }
 
 
-@lru_cache(maxsize=64)
+def _compute_table2_workload(
+    predictor_name: str, workload: str, iterations: Optional[int]
+) -> Tuple[Dict[str, QuadrantCounts], float]:
+    trace = _trace(workload, iterations)
+    predictor = make_predictor(predictor_name)
+    scale = Scale(iterations=iterations)
+    estimators = standard_estimators(predictor_name, predictor, workload, scale)
+    result = measure(trace, predictor, estimators)
+    return result.quadrants, result.accuracy
+
+
+@lru_cache(maxsize=512)
+def table2_workload(
+    predictor_name: str, workload: str, iterations: Optional[int]
+) -> Tuple[Dict[str, QuadrantCounts], float]:
+    """Standard-estimator quadrants + accuracy for one (predictor,
+    workload) cell -- the unit the parallel warm phase fans out over."""
+    return get_cache().cached(
+        "table2",
+        lambda: _compute_table2_workload(predictor_name, workload, iterations),
+        predictor=predictor_name,
+        workload=workload,
+        iterations=iterations,
+        estimators=ESTIMATOR_ORDER,
+        profile=profile_fingerprint(workload),
+    )
+
+
 def _table2_measurements(predictor_name: str, scale_key, workloads: Tuple[str, ...]):
     """Per-workload quadrant tables for the four standard estimators."""
     iterations = scale_key[0]
-    scale = Scale(*scale_key)
     per_workload: Dict[str, Dict[str, QuadrantCounts]] = {}
     accuracies: Dict[str, float] = {}
     for workload in workloads:
-        trace = _trace(workload, iterations)
-        predictor = make_predictor(predictor_name)
-        estimators = standard_estimators(predictor_name, predictor, workload, scale)
-        result = measure(trace, predictor, estimators)
-        per_workload[workload] = result.quadrants
-        accuracies[workload] = result.accuracy
+        quadrants, accuracy = table2_workload(predictor_name, workload, iterations)
+        per_workload[workload] = quadrants
+        accuracies[workload] = accuracy
     return per_workload, accuracies
+
+
+def clear_memoised() -> None:
+    """Drop the in-process memo tier (the disk tier is untouched).
+
+    Tests use this to force the next access through the artifact
+    cache; it bounds memory in long-lived processes too.
+    """
+    _trace.cache_clear()
+    _static_sites.cache_clear()
+    _pipeline_result.cache_clear()
+    table2_workload.cache_clear()
 
 
 # ----------------------------------------------------------------------

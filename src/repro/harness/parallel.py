@@ -1,0 +1,247 @@
+"""Parallel execution of the experiment battery.
+
+The battery is embarrassingly parallel: each experiment replays
+independent workload traces through independent predictor/estimator
+stacks.  This module fans ``run_all`` out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` in three waves:
+
+1. **trace warm-up** -- one task per workload generates/executes the
+   program and persists its branch trace in the artifact cache;
+2. **heavy-artifact warm-up** -- one task per (workload, predictor)
+   cell runs the pipeline simulations and standard-estimator
+   measurements the selected experiments will need, again into the
+   persistent cache;
+3. **experiments** -- one task per experiment, which now mostly reads
+   cached artifacts.
+
+Waves 1/2 give intra-experiment (per-workload) parallelism for the
+heavy experiments; wave 3 gives inter-experiment parallelism.  Workers
+communicate through the content-addressed cache
+(:mod:`repro.engine.cache`), so results are deterministic: the merged
+output is byte-identical to a serial run, and the merge order is the
+caller's selection order regardless of completion order.
+
+If the cache is disabled the warm-up waves are skipped (artifacts
+cannot cross process boundaries) and only wave 3 runs.  Any pool
+failure -- a worker crash, an unpicklable result, a sandbox that
+forbids subprocesses -- degrades gracefully to serial execution in the
+parent process.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..engine import cache as artifact_cache
+from ..engine.cache import CacheStats
+from ..engine.counters import SIMULATION_COUNTERS, SimulationCounters
+from .experiments import (
+    EXPERIMENTS,
+    PREDICTORS,
+    ExperimentResult,
+    Scale,
+    _pipeline_result,
+    _trace,
+    run_experiment,
+    table2_workload,
+)
+
+#: Experiments that run the cycle-level pipeline, and on which predictors.
+_PIPELINE_PREDICTORS: Dict[str, Tuple[str, ...]] = {
+    "tab1": ("gshare",),
+    "fig6": ("gshare",),
+    "fig7": ("mcfarling",),
+    "fig8": ("gshare",),
+    "fig9": ("mcfarling",),
+}
+
+#: Experiments built on the standard-estimator measurement grid.
+_TABLE2_PREDICTORS: Dict[str, Tuple[str, ...]] = {
+    "tab2": PREDICTORS,
+    "tab2d": PREDICTORS,
+    "tab4": ("gshare", "mcfarling", "sag"),
+}
+
+#: Experiments that need no simulation at all.
+_NO_TRACE = frozenset({"fig1"})
+
+WarmTask = Tuple[str, Tuple]
+
+
+def plan_warm_tasks(
+    selected: Sequence[str], scale: Scale
+) -> Tuple[List[WarmTask], List[WarmTask]]:
+    """The artifact warm-up plan for ``selected`` at ``scale``.
+
+    Returns ``(trace_tasks, heavy_tasks)``; heavy tasks assume the
+    traces already exist (wave 1 runs to completion first).
+    """
+    trace_tasks: Dict[WarmTask, None] = {}
+    heavy_tasks: Dict[WarmTask, None] = {}
+    needs_trace = any(eid not in _NO_TRACE for eid in selected)
+    if needs_trace:
+        for workload in scale.workloads:
+            trace_tasks[("trace", (workload, scale.iterations))] = None
+    for experiment_id in selected:
+        for predictor in _PIPELINE_PREDICTORS.get(experiment_id, ()):
+            for workload in scale.workloads:
+                heavy_tasks[
+                    (
+                        "pipeline",
+                        (
+                            workload,
+                            predictor,
+                            scale.iterations,
+                            scale.pipeline_instructions,
+                        ),
+                    )
+                ] = None
+        for predictor in _TABLE2_PREDICTORS.get(experiment_id, ()):
+            for workload in scale.workloads:
+                heavy_tasks[
+                    ("table2", (predictor, workload, scale.iterations))
+                ] = None
+    return list(trace_tasks), list(heavy_tasks)
+
+
+# ----------------------------------------------------------------------
+# worker-side entry points (must be module-level for pickling)
+# ----------------------------------------------------------------------
+
+
+def _init_worker(cache_root: str, cache_enabled: bool) -> None:
+    artifact_cache.configure(root=cache_root, enabled=cache_enabled)
+
+
+def _task_baseline() -> Tuple[CacheStats, SimulationCounters]:
+    return (
+        artifact_cache.get_cache().stats.snapshot(),
+        SIMULATION_COUNTERS.snapshot(),
+    )
+
+
+def _task_deltas(
+    baseline: Tuple[CacheStats, SimulationCounters],
+) -> Tuple[CacheStats, SimulationCounters]:
+    stats_before, counters_before = baseline
+    return (
+        artifact_cache.get_cache().stats.since(stats_before),
+        SIMULATION_COUNTERS.since(counters_before),
+    )
+
+
+def _warm_worker(task: WarmTask) -> Tuple[CacheStats, SimulationCounters]:
+    baseline = _task_baseline()
+    kind, args = task
+    if kind == "trace":
+        workload, iterations = args
+        _trace(workload, iterations)
+    elif kind == "pipeline":
+        workload, predictor, iterations, max_instructions = args
+        _pipeline_result(workload, predictor, iterations, max_instructions)
+    elif kind == "table2":
+        predictor, workload, iterations = args
+        table2_workload(predictor, workload, iterations)
+    else:  # pragma: no cover - plan and worker are defined together
+        raise ValueError(f"unknown warm task kind {kind!r}")
+    return _task_deltas(baseline)
+
+
+def _experiment_worker(
+    experiment_id: str, scale: Scale
+) -> Tuple[ExperimentResult, float, CacheStats, SimulationCounters]:
+    baseline = _task_baseline()
+    started = time.perf_counter()
+    result = run_experiment(experiment_id, scale)
+    duration = time.perf_counter() - started
+    stats, counters = _task_deltas(baseline)
+    return result, duration, stats, counters
+
+
+# ----------------------------------------------------------------------
+# parent-side scheduler
+# ----------------------------------------------------------------------
+
+
+def default_jobs() -> int:
+    """``REPRO_JOBS`` from the environment, else 1 (serial)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return 1
+
+
+def _merge_worker_state(stats: CacheStats, counters: SimulationCounters) -> None:
+    artifact_cache.merge_stats(stats)
+    SIMULATION_COUNTERS.merge(counters)
+
+
+def _run_serially(
+    selected: Iterable[str], scale: Scale
+) -> Dict[str, ExperimentResult]:
+    results: Dict[str, ExperimentResult] = {}
+    for experiment_id in selected:
+        started = time.perf_counter()
+        result = EXPERIMENTS[experiment_id](scale)
+        result.duration_s = time.perf_counter() - started
+        results[experiment_id] = result
+    return results
+
+
+def run_parallel(
+    selected: Sequence[str], scale: Scale, jobs: int
+) -> Dict[str, ExperimentResult]:
+    """Run ``selected`` experiments with ``jobs`` worker processes.
+
+    Results are merged in the order of ``selected`` and carry
+    ``duration_s`` stamps.  Falls back to serial execution (whole
+    battery or just the failed experiments) if the pool breaks.
+    """
+    jobs = max(1, jobs)
+    if jobs == 1 or len(selected) == 0:
+        return _run_serially(selected, scale)
+
+    cache = artifact_cache.get_cache()
+    trace_tasks, heavy_tasks = plan_warm_tasks(selected, scale)
+    if not cache.enabled:
+        trace_tasks, heavy_tasks = [], []
+
+    results: Dict[str, ExperimentResult] = {}
+    pending = list(selected)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(str(cache.root), cache.enabled),
+        ) as pool:
+            for wave in (trace_tasks, heavy_tasks):
+                if not wave:
+                    continue
+                for stats, counters in pool.map(_warm_worker, wave):
+                    _merge_worker_state(stats, counters)
+            futures = {
+                experiment_id: pool.submit(_experiment_worker, experiment_id, scale)
+                for experiment_id in pending
+            }
+            for experiment_id, future in futures.items():
+                result, duration, stats, counters = future.result()
+                result.duration_s = duration
+                _merge_worker_state(stats, counters)
+                results[experiment_id] = result
+    except Exception as error:  # noqa: BLE001 - any pool failure degrades
+        print(
+            f"repro: parallel execution failed ({type(error).__name__}: {error});"
+            " falling back to serial",
+            file=sys.stderr,
+        )
+        missing = [eid for eid in selected if eid not in results]
+        results.update(_run_serially(missing, scale))
+
+    return {experiment_id: results[experiment_id] for experiment_id in selected}

@@ -1,38 +1,97 @@
 """Run experiment batteries and render a full report.
 
-``run_all`` executes every experiment in DESIGN.md's index and returns
-the results; ``render_report`` turns them into the text that
-EXPERIMENTS.md embeds.  The CLI exposes both.
+``run_all`` executes every experiment in DESIGN.md's index -- serially
+or across a process pool (``jobs``) -- and returns the results;
+``render_report`` turns them into the text that EXPERIMENTS.md embeds,
+including a battery-performance section (per-experiment wall time,
+simulation throughput, artifact-cache hit rates) so the effect of
+caching and parallelism is visible in the output.  The CLI exposes
+both.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
+from ..engine import SIMULATION_COUNTERS, get_cache
 from .experiments import EXPERIMENTS, FULL, ExperimentResult, Scale
+from .tables import TextTable
 
 
 def run_all(
-    scale: Scale = FULL, only: Optional[Iterable[str]] = None
+    scale: Scale = FULL,
+    only: Optional[Iterable[str]] = None,
+    jobs: int = 1,
 ) -> Dict[str, ExperimentResult]:
-    """Run every (or the selected) experiment; returns id -> result."""
+    """Run every (or the selected) experiment; returns id -> result.
+
+    ``jobs > 1`` fans the battery out over a process pool (see
+    :mod:`repro.harness.parallel`); results are merged in selection
+    order and are identical to a serial run.  Each result carries a
+    ``duration_s`` wall-time stamp.
+    """
     selected = list(only) if only is not None else list(EXPERIMENTS)
     unknown = [experiment_id for experiment_id in selected if experiment_id not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiment ids: {', '.join(unknown)}")
-    results: Dict[str, ExperimentResult] = {}
-    for experiment_id in selected:
-        results[experiment_id] = EXPERIMENTS[experiment_id](scale)
-    return results
+    from .parallel import run_parallel
+
+    return run_parallel(selected, scale, jobs)
 
 
-def render_report(results: Dict[str, ExperimentResult], scale: Scale) -> str:
-    """Render all experiment output as one report document."""
+def _default_clock() -> str:
+    return time.strftime("%Y-%m-%d %H:%M:%S")
+
+
+def render_performance(results: Dict[str, ExperimentResult]) -> str:
+    """The battery-performance section of a report."""
+    table = TextTable(
+        title="Battery performance",
+        headers=["experiment", "wall time"],
+    )
+    total = 0.0
+    for experiment_id, result in results.items():
+        if result.duration_s is None:
+            continue
+        total += result.duration_s
+        table.add_row([experiment_id, f"{result.duration_s:8.3f}s"])
+    table.add_row(["total (sum)", f"{total:8.3f}s"])
+    counters = SIMULATION_COUNTERS
+    if counters.branches:
+        table.add_note(
+            f"simulated {counters.branches:,} branches in"
+            f" {counters.seconds:.3f}s"
+            f" ({counters.branches_per_second:,.0f} branches/s)"
+        )
+    stats = get_cache().stats
+    lookups = stats.hits + stats.misses
+    if lookups:
+        table.add_note(
+            f"artifact cache: {stats.hits} hits, {stats.misses} misses"
+            f" ({stats.hits / lookups:.0%} hit rate),"
+            f" {stats.writes} writes"
+        )
+    return table.to_text()
+
+
+def render_report(
+    results: Dict[str, ExperimentResult],
+    scale: Scale,
+    clock: Optional[Callable[[], str]] = None,
+    performance: bool = True,
+) -> str:
+    """Render all experiment output as one report document.
+
+    ``clock`` returns the ``generated:`` timestamp string; injecting a
+    fixed clock (and ``performance=False``) makes the report
+    deterministic and diffable in CI.
+    """
+    timestamp = (clock or _default_clock)()
     lines: List[str] = [
         "# Experiment report",
         "",
-        f"generated: {time.strftime('%Y-%m-%d %H:%M:%S')}",
+        f"generated: {timestamp}",
         f"scale: iterations={scale.iterations or 'profile default'}, "
         f"pipeline_instructions={scale.pipeline_instructions}, "
         f"workloads={','.join(scale.workloads)}",
@@ -40,5 +99,10 @@ def render_report(results: Dict[str, ExperimentResult], scale: Scale) -> str:
     ]
     for experiment_id, result in results.items():
         lines.append(result.to_text())
+        lines.append("")
+    if performance and any(
+        result.duration_s is not None for result in results.values()
+    ):
+        lines.append(render_performance(results))
         lines.append("")
     return "\n".join(lines)

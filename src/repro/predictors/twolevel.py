@@ -26,7 +26,7 @@ from typing import List, Optional
 
 from .base import BranchPredictor, Prediction
 from .counters import CounterTable
-from .history import GlobalHistory, LocalHistoryTable
+from .history import GlobalHistory
 
 
 class GAgPredictor(BranchPredictor):

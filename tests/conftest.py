@@ -1,12 +1,30 @@
 """Shared fixtures: small, cached workload runs for fast tests."""
 
+import os
+
 import pytest
 
+from repro.engine import cache as artifact_cache
 from repro.engine import trace_branches, workload_program
 from repro.isa import assemble
 
 #: Iteration count used by the test-scale workload runs.
 TEST_ITERATIONS = 60
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_artifact_cache(tmp_path_factory):
+    """Point the artifact cache at a per-session directory.
+
+    Tests still exercise the on-disk cache (within the session), but
+    never read artifacts left behind by other runs or other checkouts.
+    An explicitly exported ``REPRO_CACHE_DIR`` is honoured.
+    """
+    if not os.environ.get(artifact_cache.DIR_ENV):
+        artifact_cache.configure(
+            root=tmp_path_factory.mktemp("artifact-cache"), enabled=True
+        )
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -81,6 +81,58 @@ class TestCommands:
         assert "fig1" in content
 
 
+class TestScaleAndJobs:
+    def test_scale_preset_smoke(self, capsys):
+        assert main(["run", "tab3", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out and "vortex" in out
+
+    def test_scale_flags_override_preset(self):
+        from repro.cli import _scale_from_args, build_parser
+
+        args = build_parser().parse_args(
+            ["run", "tab3", "--scale", "smoke", "--iterations", "99"]
+        )
+        scale = _scale_from_args(args)
+        assert scale.iterations == 99
+        assert scale.workloads == ("compress", "vortex")
+
+    def test_run_without_experiment_runs_battery(self, capsys):
+        code = main(
+            ["run", "--scale", "smoke", "--workloads", "compress", "--iterations", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# Experiment report" in out
+        assert "tab2" in out and "boost" in out
+        assert "Battery performance" in out
+
+    def test_jobs_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["run-all", "--jobs", "2"])
+        assert args.jobs == 2
+
+
+class TestCacheCommand:
+    def test_cache_info(self, capsys):
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "cache directory:" in out and "entries:" in out
+
+    def test_cache_clear(self, capsys):
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "info"]) == 0
+        assert "0 files" in capsys.readouterr().out
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
+
 class TestNewCommands:
     def test_run_json_output(self, capsys):
         import json

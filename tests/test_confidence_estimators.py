@@ -14,7 +14,7 @@ from repro.confidence import (
     profile_confident_sites,
     profile_site_accuracy,
 )
-from repro.predictors import GsharePredictor, McFarlingPredictor, SAgPredictor
+from repro.predictors import GsharePredictor, SAgPredictor
 from repro.predictors.base import Prediction
 
 

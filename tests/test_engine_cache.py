@@ -1,0 +1,153 @@
+"""Tests for the content-addressed artifact cache."""
+
+import pickle
+
+import pytest
+
+from repro.engine.cache import (
+    ArtifactCache,
+    CacheStats,
+    cache_enabled_by_env,
+    configure,
+    default_cache_dir,
+    get_cache,
+)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ArtifactCache(root=tmp_path / "artifacts")
+
+
+class TestKeying:
+    def test_key_is_stable(self, cache):
+        a = cache.key("trace", workload="gcc", iterations=50)
+        b = cache.key("trace", iterations=50, workload="gcc")
+        assert a == b
+
+    def test_key_changes_with_any_part(self, cache):
+        base = cache.key("trace", workload="gcc", iterations=50, profile="abc")
+        assert base != cache.key("trace", workload="go", iterations=50, profile="abc")
+        assert base != cache.key("trace", workload="gcc", iterations=60, profile="abc")
+        assert base != cache.key("trace", workload="gcc", iterations=50, profile="xyz")
+
+    def test_key_changes_with_kind_and_salt(self, cache, tmp_path):
+        other = ArtifactCache(root=tmp_path, salt="other-salt")
+        assert cache.key("trace", w="gcc") != cache.key("pipeline", w="gcc")
+        assert cache.key("trace", w="gcc") != other.key("trace", w="gcc")
+
+    def test_key_embeds_kind_prefix(self, cache):
+        assert cache.key("pipeline", w="gcc").startswith("pipeline-")
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, cache):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"value": 42}
+
+        first = cache.cached("thing", compute, x=1)
+        second = cache.cached("thing", compute, x=1)
+        assert first == second == {"value": 42}
+        assert len(calls) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+
+    def test_different_parts_recompute(self, cache):
+        calls = []
+        cache.cached("thing", lambda: calls.append(1), x=1)
+        cache.cached("thing", lambda: calls.append(1), x=2)
+        assert len(calls) == 2
+
+    def test_disabled_cache_always_computes(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=False)
+        calls = []
+        cache.cached("thing", lambda: calls.append(1) or 7, x=1)
+        value = cache.cached("thing", lambda: calls.append(1) or 7, x=1)
+        assert value == 7
+        assert len(calls) == 2
+        assert not list(tmp_path.glob("*.pkl"))
+
+
+class TestCorruption:
+    def test_corrupt_entry_falls_back_to_recompute(self, cache):
+        key = cache.key("thing", x=1)
+        cache.store(key, [1, 2, 3])
+        cache.path_for(key).write_bytes(b"not a pickle at all")
+        value = cache.cached("thing", lambda: [4, 5, 6], x=1)
+        assert value == [4, 5, 6]
+        assert cache.stats.errors == 1
+        # the corrupt file was replaced by the recomputed artifact
+        hit, reloaded = cache.load(key)
+        assert hit and reloaded == [4, 5, 6]
+
+    def test_truncated_pickle_is_a_miss(self, cache):
+        key = cache.key("thing", x=1)
+        cache.store(key, list(range(1000)))
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:10])
+        hit, __ = cache.load(key)
+        assert not hit
+
+    def test_unreadable_root_never_raises(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path / "file-not-dir")
+        (tmp_path / "file-not-dir").write_text("i am a file")
+        cache.store(cache.key("k", x=1), 1)  # swallowed, counted
+        assert cache.stats.errors == 1
+
+
+class TestManagement:
+    def test_clear_empties_directory(self, cache):
+        for x in range(5):
+            cache.store(cache.key("thing", x=x), x)
+        assert cache.info()["files"] == 5
+        assert cache.clear() == 5
+        assert cache.info()["files"] == 0
+        assert not list(cache.root.glob("*.pkl"))
+
+    def test_info_breakdown_by_kind(self, cache):
+        cache.store(cache.key("trace", x=1), b"x" * 100)
+        cache.store(cache.key("trace", x=2), b"x" * 100)
+        cache.store(cache.key("pipeline", x=1), b"y")
+        info = cache.info()
+        assert info["kinds"]["trace"]["files"] == 2
+        assert info["kinds"]["pipeline"]["files"] == 1
+        assert info["bytes"] > 0
+
+    def test_stats_since_and_merge(self):
+        stats = CacheStats(hits=5, misses=3, writes=2, errors=1)
+        snap = stats.snapshot()
+        stats.hits += 2
+        delta = stats.since(snap)
+        assert delta.hits == 2 and delta.misses == 0
+        total = CacheStats()
+        total.merge(stats)
+        assert total.hits == stats.hits
+
+
+class TestEnvironment:
+    def test_configure_updates_env_and_singleton(self, tmp_path, monkeypatch):
+        previous = get_cache()
+        configured = configure(root=tmp_path / "c", enabled=True)
+        try:
+            assert get_cache() is configured
+            assert cache_enabled_by_env()
+            configure(enabled=False)
+            assert not cache_enabled_by_env()
+            assert str(default_cache_dir()) == str(tmp_path / "c")
+        finally:
+            configure(root=previous.root, enabled=previous.enabled)
+
+    def test_store_is_pickle_roundtrip(self, cache):
+        from array import array
+
+        payload = {"pcs": array("L", [1, 2, 3]), "outcomes": bytearray(b"\x01\x00")}
+        key = cache.key("roundtrip", x=1)
+        cache.store(key, payload)
+        hit, value = cache.load(key)
+        assert hit
+        assert value == payload
+        assert pickle.dumps(value)

@@ -1,0 +1,144 @@
+"""Parallel scheduler tests: warm-up planning, serial equivalence,
+disk-cache integration of the experiment intermediates."""
+
+import pytest
+
+from repro.engine import cache as artifact_cache
+from repro.engine import clear_cache
+from repro.harness import (
+    EXPERIMENTS,
+    SMOKE,
+    Scale,
+    clear_memoised,
+    plan_warm_tasks,
+    render_report,
+    run_all,
+)
+from repro.harness.parallel import default_jobs
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path):
+    """A fresh disk cache + empty in-process memo tier."""
+    previous_root = artifact_cache.get_cache().root
+    previous_enabled = artifact_cache.get_cache().enabled
+    artifact_cache.configure(root=tmp_path / "cache", enabled=True)
+    clear_memoised()
+    clear_cache()
+    yield artifact_cache.get_cache()
+    artifact_cache.configure(root=previous_root, enabled=previous_enabled)
+    clear_memoised()
+    clear_cache()
+
+
+class TestWarmPlan:
+    def test_trace_tasks_cover_workloads(self):
+        trace_tasks, __ = plan_warm_tasks(list(EXPERIMENTS), SMOKE)
+        workloads = {args[0] for kind, args in trace_tasks}
+        assert workloads == set(SMOKE.workloads)
+
+    def test_heavy_tasks_cover_pipeline_and_table2(self):
+        __, heavy = plan_warm_tasks(["tab1", "fig7", "tab2"], SMOKE)
+        kinds = {}
+        for kind, args in heavy:
+            kinds.setdefault(kind, []).append(args)
+        pipeline_predictors = {args[1] for args in kinds["pipeline"]}
+        assert pipeline_predictors == {"gshare", "mcfarling"}
+        table2_predictors = {args[0] for args in kinds["table2"]}
+        assert table2_predictors == {"gshare", "mcfarling", "sag"}
+
+    def test_fig1_needs_nothing(self):
+        trace_tasks, heavy = plan_warm_tasks(["fig1"], SMOKE)
+        assert trace_tasks == [] and heavy == []
+
+    def test_no_duplicate_tasks(self):
+        trace_tasks, heavy = plan_warm_tasks(list(EXPERIMENTS), SMOKE)
+        assert len(trace_tasks) == len(set(trace_tasks))
+        assert len(heavy) == len(set(heavy))
+
+
+class TestSerialParallelEquivalence:
+    def test_jobs4_tables_byte_identical_to_jobs1(self, isolated_cache):
+        serial = run_all(SMOKE, jobs=1)
+        clear_memoised()
+        parallel = run_all(SMOKE, jobs=4)
+        assert list(serial) == list(parallel)
+        for experiment_id in serial:
+            assert (
+                serial[experiment_id].to_text()
+                == parallel[experiment_id].to_text()
+            ), experiment_id
+
+    def test_parallel_results_carry_timing(self, isolated_cache):
+        results = run_all(SMOKE, only=["fig1", "tab3"], jobs=2)
+        assert all(result.duration_s is not None for result in results.values())
+
+    def test_merge_order_is_selection_order(self, isolated_cache):
+        results = run_all(SMOKE, only=["tab3", "fig1"], jobs=2)
+        assert list(results) == ["tab3", "fig1"]
+
+
+class TestDiskCacheIntegration:
+    def test_warm_rerun_hits_disk(self, isolated_cache):
+        run_all(SMOKE, only=["tab2"], jobs=1)
+        assert isolated_cache.stats.writes > 0
+        # a fresh process is simulated by dropping the in-memory tier
+        clear_memoised()
+        clear_cache()
+        before = isolated_cache.stats.snapshot()
+        run_all(SMOKE, only=["tab2"], jobs=1)
+        delta = isolated_cache.stats.since(before)
+        assert delta.hits > 0
+        assert delta.misses == 0
+
+    def test_scale_change_misses(self, isolated_cache):
+        run_all(SMOKE, only=["tab2"], jobs=1)
+        clear_memoised()
+        clear_cache()
+        before = isolated_cache.stats.snapshot()
+        other = Scale(
+            iterations=(SMOKE.iterations or 0) + 10,
+            pipeline_instructions=SMOKE.pipeline_instructions,
+            workloads=SMOKE.workloads,
+        )
+        run_all(other, only=["tab2"], jobs=1)
+        delta = isolated_cache.stats.since(before)
+        assert delta.misses > 0
+
+    def test_report_contains_performance_section(self, isolated_cache):
+        results = run_all(SMOKE, only=["fig1", "tab3"], jobs=1)
+        report = render_report(results, SMOKE)
+        assert "Battery performance" in report
+        assert "wall time" in report
+
+
+class TestRunAllContract:
+    def test_unknown_id_rejected_before_pool_spinup(self):
+        with pytest.raises(KeyError):
+            run_all(SMOKE, only=["nope"], jobs=4)
+
+    def test_default_jobs_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+        monkeypatch.setenv("REPRO_JOBS", "garbage")
+        assert default_jobs() == 1
+
+
+class TestReportClock:
+    def test_injectable_clock_is_deterministic(self, isolated_cache):
+        results = run_all(SMOKE, only=["fig1"], jobs=1)
+        one = render_report(
+            results, SMOKE, clock=lambda: "2026-01-01 00:00:00", performance=False
+        )
+        two = render_report(
+            results, SMOKE, clock=lambda: "2026-01-01 00:00:00", performance=False
+        )
+        assert one == two
+        assert "generated: 2026-01-01 00:00:00" in one
+
+    def test_default_clock_used_when_absent(self, isolated_cache):
+        results = run_all(SMOKE, only=["fig1"], jobs=1)
+        report = render_report(results, SMOKE)
+        assert "generated: 2" in report  # a real timestamp

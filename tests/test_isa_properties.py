@@ -67,7 +67,7 @@ def test_snapshot_restore_is_identity(steps_before, steps_after):
     """Running further then restoring always recovers the exact state."""
     source = "\n".join(
         ["start: li r1, 0", "li r2, 1"]
-        + ["loop: add r1, r1, r2", f"sw r1, 100(r1)", "addi r2, r2, 3", "j loop"]
+        + ["loop: add r1, r1, r2", "sw r1, 100(r1)", "addi r2, r2, 3", "j loop"]
     )
     machine = Machine(assemble(source))
     for __ in range(steps_before):

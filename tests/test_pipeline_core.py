@@ -6,7 +6,7 @@ from repro.confidence import JRSEstimator, MispredictionDistanceEstimator
 from repro.isa import Machine
 from repro.pipeline import PipelineConfig, PipelineSimulator
 from repro.predictors import GsharePredictor, SAgPredictor, make_predictor
-from repro.workloads import SUITE, generate_program, get_profile
+from repro.workloads import generate_program, get_profile
 
 
 def small_program(name="compress", iterations=30):

@@ -4,7 +4,6 @@ import pytest
 
 from repro.confidence import JRSEstimator, SaturatingCountersEstimator
 from repro.isa import Machine
-from repro.pipeline import PipelineConfig, PipelineSimulator
 from repro.predictors import GsharePredictor, SAgPredictor
 from repro.speculation import EagerPipelineSimulator, compare_eager_execution
 from repro.workloads import generate_program, get_profile
