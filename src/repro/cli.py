@@ -5,7 +5,11 @@ Usage examples::
     repro list                         # experiments and workloads
     repro run tab2                     # one experiment, full scale
     repro run --scale smoke --jobs 4   # whole battery, small + parallel
+    repro run --journal run.jsonl      # + structured JSONL run journal
     repro run-all --out report.txt     # the whole battery
+    repro profile tab2 --scale smoke   # cProfile one experiment
+    repro profile fig6 --hot-branches  # + top mispredicting sites
+    repro journal run.jsonl            # validate/summarise a journal
     repro cache info                   # artifact-cache contents
     repro workload gcc --iterations 50 # inspect a synthetic workload
     repro trace gcc out.rbt.gz         # dump a branch trace file
@@ -29,6 +33,9 @@ from .harness import (
     run_experiment,
 )
 from .harness.plot import distance_chart, figure1_chart, sweep_chart
+from .obs import journal as obs_journal
+from .obs.journal import RunJournal
+from .obs.profile import SORT_KEYS, hot_branches, profile_experiment
 from .workloads import SUITE, generate_source, get_profile
 
 
@@ -88,14 +95,28 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="bypass the on-disk artifact cache for this invocation",
     )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write a structured JSONL run journal to PATH"
+        " (see docs/observability.md for the event schema)",
+    )
 
 
-def _resolve_execution(args: argparse.Namespace) -> int:
+def _open_journal(args: argparse.Namespace) -> Optional[RunJournal]:
+    path = getattr(args, "journal", None)
+    return RunJournal(path) if path else None
+
+
+def _resolve_execution(
+    args: argparse.Namespace, journal: Optional[RunJournal] = None
+) -> int:
     """Apply --no-cache and resolve the worker count."""
     if getattr(args, "no_cache", False):
         artifact_cache.configure(enabled=False)
     jobs = getattr(args, "jobs", None)
-    return max(1, jobs) if jobs is not None else default_jobs()
+    return max(1, jobs) if jobs is not None else default_jobs(journal)
 
 
 def _command_list(args: argparse.Namespace) -> int:
@@ -111,28 +132,40 @@ def _command_list(args: argparse.Namespace) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    jobs = _resolve_execution(args)
-    scale = _scale_from_args(args)
-    if args.experiment is None:
-        # no experiment named: run the whole battery as a report
-        results = run_all(scale, jobs=jobs)
-        print(render_report(results, scale))
+    journal = _open_journal(args)
+    try:
+        jobs = _resolve_execution(args, journal)
+        scale = _scale_from_args(args)
+        if args.experiment is None:
+            # no experiment named: run the whole battery as a report
+            results = run_all(scale, jobs=jobs, journal=journal)
+            print(render_report(results, scale, journal=journal))
+            return 0
+        if jobs > 1 or journal is not None:
+            results = run_all(
+                scale, only=[args.experiment], jobs=jobs, journal=journal
+            )
+            result = results[args.experiment]
+        else:
+            result = run_experiment(args.experiment, scale)
+        print(result.to_json() if args.json else result.to_text())
         return 0
-    if jobs > 1:
-        results = run_all(scale, only=[args.experiment], jobs=jobs)
-        result = results[args.experiment]
-    else:
-        result = run_experiment(args.experiment, scale)
-    print(result.to_json() if args.json else result.to_text())
-    return 0
+    finally:
+        if journal is not None:
+            journal.close()
 
 
 def _command_run_all(args: argparse.Namespace) -> int:
-    jobs = _resolve_execution(args)
-    scale = _scale_from_args(args)
-    only = args.only.split(",") if args.only else None
-    results = run_all(scale, only=only, jobs=jobs)
-    report = render_report(results, scale)
+    journal = _open_journal(args)
+    try:
+        jobs = _resolve_execution(args, journal)
+        scale = _scale_from_args(args)
+        only = args.only.split(",") if args.only else None
+        results = run_all(scale, only=only, jobs=jobs, journal=journal)
+        report = render_report(results, scale, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report)
@@ -140,6 +173,35 @@ def _command_run_all(args: argparse.Namespace) -> int:
     else:
         print(report)
     return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    """cProfile one experiment; optionally census hot branch sites."""
+    scale = _scale_from_args(args)
+    result, stats_text = profile_experiment(
+        args.experiment, scale, sort=args.sort, limit=args.limit
+    )
+    print(f"# profile: {args.experiment} ({result.title})")
+    print(stats_text)
+    if args.hot_branches:
+        for workload in scale.workloads:
+            __, table = hot_branches(
+                workload, args.predictor, scale, top=args.top
+            )
+            print(table.to_text())
+            print()
+    return 0
+
+
+def _command_journal(args: argparse.Namespace) -> int:
+    """Validate journal files against the event schema."""
+    status = 0
+    for path in args.paths:
+        print(obs_journal.summarize(path))
+        __, errors = obs_journal.validate_journal(path)
+        if errors:
+            status = 1
+    return status
 
 
 def _command_cache(args: argparse.Namespace) -> int:
@@ -257,6 +319,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="info: show location/size/hit-rates; clear: delete all entries",
     )
 
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="run one experiment under cProfile"
+        " (optionally with a hot-branch census)",
+    )
+    profile_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    _add_scale_arguments(profile_parser)
+    profile_parser.add_argument(
+        "--sort", choices=SORT_KEYS, default="cumulative",
+        help="pstats sort key (default: cumulative)",
+    )
+    profile_parser.add_argument(
+        "--limit", type=int, default=25, help="pstats rows to print"
+    )
+    profile_parser.add_argument(
+        "--hot-branches",
+        action="store_true",
+        help="also print the top mispredicting branch sites per workload",
+    )
+    profile_parser.add_argument(
+        "--predictor",
+        default="gshare",
+        help="predictor for the hot-branch census (default: gshare)",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=10, help="hot-branch sites to list"
+    )
+
+    journal_parser = subparsers.add_parser(
+        "journal", help="validate and summarise JSONL run journals"
+    )
+    journal_parser.add_argument("paths", nargs="+", metavar="JOURNAL")
+
     plot_parser = subparsers.add_parser(
         "plot", help="render a figure experiment as an ASCII chart"
     )
@@ -288,6 +383,8 @@ _COMMANDS = {
     "run-all": _command_run_all,
     "cache": _command_cache,
     "plot": _command_plot,
+    "profile": _command_profile,
+    "journal": _command_journal,
     "workload": _command_workload,
     "trace": _command_trace,
 }

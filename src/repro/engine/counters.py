@@ -7,25 +7,36 @@ counters around a battery run and the report renderer turns the delta
 into a branches-per-second figure, so speedups from caching and
 parallelism are visible directly in ``EXPERIMENTS.md``-style output.
 
-Parallel workers carry their own process-local instance; the scheduler
-ships deltas back to the parent and folds them in with ``merge``.
+Since the observability refactor these counters are a *facade* over the
+unified metrics registry (:mod:`repro.obs.registry`): ``record`` feeds
+the ``sim.branches`` counter and ``sim.replay`` timer, and the parallel
+scheduler ships whole registry deltas instead of a bespoke counter
+pair.  The :class:`SimulationCounters` value object and the
+``SIMULATION_COUNTERS`` global keep their original API so existing
+callers (runner, benchmarks) are untouched.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.registry import MetricsRegistry, get_registry
+
+#: Registry metric names the facade writes to.
+BRANCHES_METRIC = "sim.branches"
+REPLAY_TIMER = "sim.replay"
+
 
 @dataclass
 class SimulationCounters:
-    """Branches simulated and wall time spent simulating them."""
+    """Branches simulated and wall time spent simulating them.
+
+    A plain value object: ``SIMULATION_COUNTERS.snapshot()`` returns
+    one, and deltas between two snapshots describe a run's work.
+    """
 
     branches: int = 0
     seconds: float = 0.0
-
-    def record(self, branches: int, seconds: float) -> None:
-        self.branches += branches
-        self.seconds += seconds
 
     def merge(self, other: "SimulationCounters") -> None:
         self.branches += other.branches
@@ -44,10 +55,50 @@ class SimulationCounters:
     def branches_per_second(self) -> float:
         return self.branches / self.seconds if self.seconds > 0 else 0.0
 
+
+class RegistrySimulationCounters:
+    """The live counters, backed by the process metrics registry.
+
+    Same surface as the old ad-hoc global (``record`` / ``snapshot`` /
+    ``since`` / ``merge`` / ``reset`` / the throughput properties) but
+    every update lands in :data:`repro.obs.registry.REGISTRY`, so the
+    journal's ``metrics_snapshot`` events and the report's throughput
+    note can never disagree.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self._registry = get_registry(registry)
+
+    @property
+    def branches(self) -> int:
+        return int(self._registry.counter_value(BRANCHES_METRIC))
+
+    @property
+    def seconds(self) -> float:
+        return self._registry.timer_value(REPLAY_TIMER).seconds
+
+    @property
+    def branches_per_second(self) -> float:
+        seconds = self.seconds
+        return self.branches / seconds if seconds > 0 else 0.0
+
+    def record(self, branches: int, seconds: float) -> None:
+        self._registry.count(BRANCHES_METRIC, branches)
+        self._registry.observe_seconds(REPLAY_TIMER, seconds)
+
+    def snapshot(self) -> SimulationCounters:
+        return SimulationCounters(branches=self.branches, seconds=self.seconds)
+
+    def since(self, earlier: SimulationCounters) -> SimulationCounters:
+        return self.snapshot().since(earlier)
+
+    def merge(self, other: SimulationCounters) -> None:
+        self.record(other.branches, other.seconds)
+
     def reset(self) -> None:
-        self.branches = 0
-        self.seconds = 0.0
+        self._registry.discard(BRANCHES_METRIC)
+        self._registry.discard(REPLAY_TIMER)
 
 
-#: The process-wide instance.
-SIMULATION_COUNTERS = SimulationCounters()
+#: The process-wide instance (registry-backed).
+SIMULATION_COUNTERS = RegistrySimulationCounters()

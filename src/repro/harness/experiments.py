@@ -392,10 +392,10 @@ def experiment_table2(scale: Scale = FULL) -> ExperimentResult:
             table.add_row(
                 [
                     ESTIMATOR_LABELS[estimator],
-                    pct(quadrant.sens),
-                    pct(quadrant.spec),
-                    pct(quadrant.pvp),
-                    pct(quadrant.pvn),
+                    pct(quadrant.metric_or_none("sens")),
+                    pct(quadrant.metric_or_none("spec")),
+                    pct(quadrant.metric_or_none("pvp")),
+                    pct(quadrant.metric_or_none("pvn")),
                     paper_values.format_reference(reference) if reference else "--",
                 ]
             )
@@ -431,9 +431,9 @@ def experiment_table2_detail(scale: Scale = FULL) -> ExperimentResult:
                     [
                         workload,
                         estimator,
-                        pct(quadrant.sens),
-                        pct(quadrant.spec),
-                        pct(quadrant.pvp),
+                        pct(quadrant.metric_or_none("sens")),
+                        pct(quadrant.metric_or_none("spec")),
+                        pct(quadrant.metric_or_none("pvp")),
                         format_with_interval(quadrant, "pvn"),
                     ]
                 )
@@ -495,10 +495,10 @@ def experiment_figure3(scale: Scale = FULL) -> ExperimentResult:
         table.add_row(
             [
                 threshold,
-                pct1(enhanced_quadrant.pvp),
-                pct1(enhanced_quadrant.pvn),
-                pct1(original_quadrant.pvp),
-                pct1(original_quadrant.pvn),
+                pct1(enhanced_quadrant.metric_or_none("pvp")),
+                pct1(enhanced_quadrant.metric_or_none("pvn")),
+                pct1(original_quadrant.metric_or_none("pvp")),
+                pct1(original_quadrant.metric_or_none("pvn")),
             ]
         )
     result.tables.append(table)
@@ -534,10 +534,12 @@ def _jrs_design_space(
     for position, threshold in enumerate(thresholds):
         row = [threshold]
         row.extend(
-            pct1(lines[size].points[position].quadrant.pvp) for size in table_sizes
+            pct1(lines[size].points[position].quadrant.metric_or_none("pvp"))
+            for size in table_sizes
         )
         row.extend(
-            pct1(lines[size].points[position].quadrant.pvn) for size in table_sizes
+            pct1(lines[size].points[position].quadrant.metric_or_none("pvn"))
+            for size in table_sizes
         )
         table.add_row(row)
     table.add_note(
@@ -602,32 +604,16 @@ def experiment_table3(scale: Scale = FULL) -> ExperimentResult:
         both_quadrants.append(both)
         either_quadrants.append(either)
         table.add_row(
-            [
-                workload,
-                pct(both.sens),
-                pct(both.spec),
-                pct(both.pvp),
-                pct(both.pvn),
-                pct(either.sens),
-                pct(either.spec),
-                pct(either.pvp),
-                pct(either.pvn),
-            ]
+            [workload]
+            + [pct(both.metric_or_none(m)) for m in ("sens", "spec", "pvp", "pvn")]
+            + [pct(either.metric_or_none(m)) for m in ("sens", "spec", "pvp", "pvn")]
         )
     both_mean = average_quadrants(both_quadrants)
     either_mean = average_quadrants(either_quadrants)
     table.add_row(
-        [
-            "Mean",
-            pct(both_mean.sens),
-            pct(both_mean.spec),
-            pct(both_mean.pvp),
-            pct(both_mean.pvn),
-            pct(either_mean.sens),
-            pct(either_mean.spec),
-            pct(either_mean.pvp),
-            pct(either_mean.pvn),
-        ]
+        ["Mean"]
+        + [pct(both_mean.metric_or_none(m)) for m in ("sens", "spec", "pvp", "pvn")]
+        + [pct(either_mean.metric_or_none(m)) for m in ("sens", "spec", "pvp", "pvn")]
     )
     table.add_note("paper means (Both Strong): sens 67%, spec 78%")
     result.tables.append(table)
@@ -764,10 +750,10 @@ def experiment_table4(scale: Scale = FULL) -> ExperimentResult:
                     ESTIMATOR_LABELS[estimator].split(",")[0],
                     threshold_label,
                     predictor_name,
-                    pct(quadrant.sens),
-                    pct(quadrant.spec),
-                    pct(quadrant.pvp),
-                    pct(quadrant.pvn),
+                    pct(quadrant.metric_or_none("sens")),
+                    pct(quadrant.metric_or_none("spec")),
+                    pct(quadrant.metric_or_none("pvp")),
+                    pct(quadrant.metric_or_none("pvn")),
                     paper_values.format_reference(reference) if reference else "--",
                 ]
             )
@@ -794,10 +780,10 @@ def experiment_table4(scale: Scale = FULL) -> ExperimentResult:
                     "Distance",
                     f"> {distance_threshold}",
                     predictor_name,
-                    pct(quadrant.sens),
-                    pct(quadrant.spec),
-                    pct(quadrant.pvp),
-                    pct(quadrant.pvn),
+                    pct(quadrant.metric_or_none("sens")),
+                    pct(quadrant.metric_or_none("spec")),
+                    pct(quadrant.metric_or_none("pvp")),
+                    pct(quadrant.metric_or_none("pvn")),
                     paper_values.format_reference(reference) if reference else "--",
                 ]
             )
@@ -813,10 +799,10 @@ def experiment_table4(scale: Scale = FULL) -> ExperimentResult:
             "Hist. Pattern",
             "N.A.",
             "sag",
-            pct(sag_pattern.sens),
-            pct(sag_pattern.spec),
-            pct(sag_pattern.pvp),
-            pct(sag_pattern.pvn),
+            pct(sag_pattern.metric_or_none("sens")),
+            pct(sag_pattern.metric_or_none("spec")),
+            pct(sag_pattern.metric_or_none("pvp")),
+            pct(sag_pattern.metric_or_none("pvn")),
             paper_values.format_reference(paper_values.TABLE2[("sag", "pattern")]),
         ]
     )

@@ -22,10 +22,20 @@ output is byte-identical to a serial run, and the merge order is the
 caller's selection order regardless of completion order.
 
 If the cache is disabled the warm-up waves are skipped (artifacts
-cannot cross process boundaries) and only wave 3 runs.  Any pool
-failure -- a worker crash, an unpicklable result, a sandbox that
-forbids subprocesses -- degrades gracefully to serial execution in the
-parent process.
+cannot cross process boundaries) and only wave 3 runs.
+
+Failure handling is *per experiment*: a raising future costs only that
+experiment, which is re-run serially in the parent after the surviving
+parallel results are merged; an ``experiment_failed`` journal event
+carries the worker traceback.  Pool-level failures -- the executor
+refusing to start, a sandbox that forbids subprocesses -- degrade the
+whole remainder to serial execution, so the battery always completes
+if a serial run would.
+
+Workers ship back per-task deltas of the artifact-cache statistics and
+the metrics registry (:mod:`repro.obs.registry`); the parent folds both
+in, so throughput and cache hit-rate accounting is identical to a
+serial run.
 """
 
 from __future__ import annotations
@@ -33,12 +43,14 @@ from __future__ import annotations
 import os
 import sys
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..engine import cache as artifact_cache
 from ..engine.cache import CacheStats
-from ..engine.counters import SIMULATION_COUNTERS, SimulationCounters
+from ..obs.journal import NullJournal, RunJournal, coalesce
+from ..obs.registry import REGISTRY, MetricsSnapshot
 from .experiments import (
     EXPERIMENTS,
     PREDICTORS,
@@ -49,6 +61,8 @@ from .experiments import (
     run_experiment,
     table2_workload,
 )
+
+Journal = Optional[object]  # RunJournal | NullJournal; kwarg convenience
 
 #: Experiments that run the cycle-level pipeline, and on which predictors.
 _PIPELINE_PREDICTORS: Dict[str, Tuple[str, ...]] = {
@@ -68,6 +82,11 @@ _TABLE2_PREDICTORS: Dict[str, Tuple[str, ...]] = {
 
 #: Experiments that need no simulation at all.
 _NO_TRACE = frozenset({"fig1"})
+
+#: Fault-injection hook for tests/CI: a comma-separated list of
+#: experiment ids whose *worker* run raises, exercising the
+#: per-experiment serial fallback without touching real code paths.
+CRASH_ENV = "REPRO_CRASH_EXPERIMENTS"
 
 WarmTask = Tuple[str, Tuple]
 
@@ -117,25 +136,26 @@ def _init_worker(cache_root: str, cache_enabled: bool) -> None:
     artifact_cache.configure(root=cache_root, enabled=cache_enabled)
 
 
-def _task_baseline() -> Tuple[CacheStats, SimulationCounters]:
+def _task_baseline() -> Tuple[CacheStats, MetricsSnapshot]:
     return (
         artifact_cache.get_cache().stats.snapshot(),
-        SIMULATION_COUNTERS.snapshot(),
+        REGISTRY.snapshot(),
     )
 
 
 def _task_deltas(
-    baseline: Tuple[CacheStats, SimulationCounters],
-) -> Tuple[CacheStats, SimulationCounters]:
-    stats_before, counters_before = baseline
+    baseline: Tuple[CacheStats, MetricsSnapshot],
+) -> Tuple[CacheStats, MetricsSnapshot]:
+    stats_before, metrics_before = baseline
     return (
         artifact_cache.get_cache().stats.since(stats_before),
-        SIMULATION_COUNTERS.since(counters_before),
+        REGISTRY.since(metrics_before),
     )
 
 
-def _warm_worker(task: WarmTask) -> Tuple[CacheStats, SimulationCounters]:
+def _warm_worker(task: WarmTask) -> Tuple[CacheStats, MetricsSnapshot, float]:
     baseline = _task_baseline()
+    started = time.perf_counter()
     kind, args = task
     if kind == "trace":
         workload, iterations = args
@@ -148,18 +168,30 @@ def _warm_worker(task: WarmTask) -> Tuple[CacheStats, SimulationCounters]:
         table2_workload(predictor, workload, iterations)
     else:  # pragma: no cover - plan and worker are defined together
         raise ValueError(f"unknown warm task kind {kind!r}")
-    return _task_deltas(baseline)
+    duration = time.perf_counter() - started
+    stats, metrics = _task_deltas(baseline)
+    return stats, metrics, duration
+
+
+def _maybe_injected_crash(experiment_id: str) -> None:
+    crashing = os.environ.get(CRASH_ENV, "")
+    if experiment_id in {part.strip() for part in crashing.split(",") if part.strip()}:
+        raise RuntimeError(
+            f"injected worker crash for experiment {experiment_id!r}"
+            f" (${CRASH_ENV})"
+        )
 
 
 def _experiment_worker(
     experiment_id: str, scale: Scale
-) -> Tuple[ExperimentResult, float, CacheStats, SimulationCounters]:
+) -> Tuple[ExperimentResult, float, CacheStats, MetricsSnapshot]:
+    _maybe_injected_crash(experiment_id)
     baseline = _task_baseline()
     started = time.perf_counter()
     result = run_experiment(experiment_id, scale)
     duration = time.perf_counter() - started
-    stats, counters = _task_deltas(baseline)
-    return result, duration, stats, counters
+    stats, metrics = _task_deltas(baseline)
+    return result, duration, stats, metrics
 
 
 # ----------------------------------------------------------------------
@@ -167,46 +199,118 @@ def _experiment_worker(
 # ----------------------------------------------------------------------
 
 
-def default_jobs() -> int:
-    """``REPRO_JOBS`` from the environment, else 1 (serial)."""
+def default_jobs(journal: Journal = None) -> int:
+    """``REPRO_JOBS`` from the environment, else 1 (serial).
+
+    An unparseable value is *not* silently swallowed: the degradation
+    to serial execution is announced on stderr and, when a journal is
+    active, as a ``warning`` event naming the bad value.
+    """
     raw = os.environ.get("REPRO_JOBS", "").strip()
     if raw:
         try:
             return max(1, int(raw))
         except ValueError:
-            pass
+            message = (
+                f"repro: ignoring unparseable REPRO_JOBS={raw!r};"
+                " running serially (jobs=1)"
+            )
+            print(message, file=sys.stderr)
+            coalesce(journal).emit("warning", message=message, context="REPRO_JOBS")
     return 1
 
 
-def _merge_worker_state(stats: CacheStats, counters: SimulationCounters) -> None:
+def _merge_worker_state(stats: CacheStats, metrics: MetricsSnapshot) -> None:
     artifact_cache.merge_stats(stats)
-    SIMULATION_COUNTERS.merge(counters)
+    REGISTRY.merge(metrics)
 
 
 def _run_serially(
-    selected: Iterable[str], scale: Scale
+    selected: Iterable[str],
+    scale: Scale,
+    journal: Journal = None,
 ) -> Dict[str, ExperimentResult]:
+    journal = coalesce(journal)
     results: Dict[str, ExperimentResult] = {}
     for experiment_id in selected:
+        journal.emit("experiment_started", experiment=experiment_id, mode="serial")
         started = time.perf_counter()
-        result = EXPERIMENTS[experiment_id](scale)
+        with REGISTRY.timed(f"experiment.{experiment_id}"):
+            result = EXPERIMENTS[experiment_id](scale)
         result.duration_s = time.perf_counter() - started
         results[experiment_id] = result
+        journal.emit(
+            "experiment_finished",
+            experiment=experiment_id,
+            mode="serial",
+            duration_s=result.duration_s,
+        )
     return results
 
 
+def _format_error(error: BaseException) -> Tuple[str, str]:
+    """``(summary, traceback_text)`` for a raised future."""
+    summary = f"{type(error).__name__}: {error}"
+    trace = "".join(
+        traceback.format_exception(type(error), error, error.__traceback__)
+    )
+    return summary, trace
+
+
+def _run_warm_waves(pool, waves, journal: RunJournal) -> None:
+    """Run the warm-up waves, journaling each task.
+
+    A failing warm task is non-fatal: the artifact simply is not
+    pre-cached and the owning experiment computes (or fails and
+    falls back) on its own.
+    """
+    for wave in waves:
+        if not wave:
+            continue
+        futures = [(task, pool.submit(_warm_worker, task)) for task in wave]
+        for task, future in futures:
+            kind, args = task
+            try:
+                stats, metrics, duration = future.result()
+            except Exception as error:  # noqa: BLE001 - worker died
+                summary, __ = _format_error(error)
+                journal.emit(
+                    "warm_task",
+                    kind=kind,
+                    args=list(args),
+                    ok=False,
+                    error=summary,
+                )
+                continue
+            _merge_worker_state(stats, metrics)
+            REGISTRY.count("warm.tasks")
+            journal.emit(
+                "warm_task",
+                kind=kind,
+                args=list(args),
+                ok=True,
+                duration_s=duration,
+            )
+
+
 def run_parallel(
-    selected: Sequence[str], scale: Scale, jobs: int
+    selected: Sequence[str],
+    scale: Scale,
+    jobs: int,
+    journal: Journal = None,
 ) -> Dict[str, ExperimentResult]:
     """Run ``selected`` experiments with ``jobs`` worker processes.
 
     Results are merged in the order of ``selected`` and carry
-    ``duration_s`` stamps.  Falls back to serial execution (whole
-    battery or just the failed experiments) if the pool breaks.
+    ``duration_s`` stamps.  A single failing experiment is re-run
+    serially on its own (the surviving parallel results are kept); a
+    pool-level failure degrades every not-yet-merged experiment to
+    serial execution.
     """
+    journal = coalesce(journal)
     jobs = max(1, jobs)
     if jobs == 1 or len(selected) == 0:
-        return _run_serially(selected, scale)
+        return _run_serially(selected, scale, journal)
 
     cache = artifact_cache.get_cache()
     trace_tasks, heavy_tasks = plan_warm_tasks(selected, scale)
@@ -214,34 +318,67 @@ def run_parallel(
         trace_tasks, heavy_tasks = [], []
 
     results: Dict[str, ExperimentResult] = {}
-    pending = list(selected)
+    failed: List[str] = []
     try:
         with ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_init_worker,
             initargs=(str(cache.root), cache.enabled),
         ) as pool:
-            for wave in (trace_tasks, heavy_tasks):
-                if not wave:
-                    continue
-                for stats, counters in pool.map(_warm_worker, wave):
-                    _merge_worker_state(stats, counters)
-            futures = {
-                experiment_id: pool.submit(_experiment_worker, experiment_id, scale)
-                for experiment_id in pending
-            }
+            _run_warm_waves(pool, (trace_tasks, heavy_tasks), journal)
+            futures = {}
+            for experiment_id in selected:
+                futures[experiment_id] = pool.submit(
+                    _experiment_worker, experiment_id, scale
+                )
+                journal.emit(
+                    "experiment_started", experiment=experiment_id, mode="parallel"
+                )
             for experiment_id, future in futures.items():
-                result, duration, stats, counters = future.result()
+                try:
+                    result, duration, stats, metrics = future.result()
+                except Exception as error:  # noqa: BLE001 - per-future fallback
+                    summary, trace = _format_error(error)
+                    print(
+                        f"repro: experiment {experiment_id} failed in a worker"
+                        f" ({summary}); will re-run it serially",
+                        file=sys.stderr,
+                    )
+                    journal.emit(
+                        "experiment_failed",
+                        experiment=experiment_id,
+                        error=summary,
+                        traceback=trace,
+                    )
+                    REGISTRY.count("experiments.failed_parallel")
+                    failed.append(experiment_id)
+                    continue
                 result.duration_s = duration
-                _merge_worker_state(stats, counters)
+                _merge_worker_state(stats, metrics)
+                REGISTRY.observe_seconds(f"experiment.{experiment_id}", duration)
                 results[experiment_id] = result
-    except Exception as error:  # noqa: BLE001 - any pool failure degrades
-        print(
+                journal.emit(
+                    "experiment_finished",
+                    experiment=experiment_id,
+                    mode="parallel",
+                    duration_s=duration,
+                )
+    except Exception as error:  # noqa: BLE001 - pool-level degradation
+        message = (
             f"repro: parallel execution failed ({type(error).__name__}: {error});"
-            " falling back to serial",
-            file=sys.stderr,
+            " falling back to serial"
         )
-        missing = [eid for eid in selected if eid not in results]
-        results.update(_run_serially(missing, scale))
+        print(message, file=sys.stderr)
+        journal.emit("warning", message=message, context="pool")
+        failed = [eid for eid in selected if eid not in results]
+
+    if failed:
+        # only the genuinely failed experiments re-run, serially, in
+        # selection order; everything else keeps its parallel result
+        results.update(
+            _run_serially(
+                [eid for eid in selected if eid in set(failed)], scale, journal
+            )
+        )
 
     return {experiment_id: results[experiment_id] for experiment_id in selected}

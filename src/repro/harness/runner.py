@@ -4,9 +4,18 @@
 or across a process pool (``jobs``) -- and returns the results;
 ``render_report`` turns them into the text that EXPERIMENTS.md embeds,
 including a battery-performance section (per-experiment wall time,
-simulation throughput, artifact-cache hit rates) so the effect of
-caching and parallelism is visible in the output.  The CLI exposes
-both.
+simulation throughput, artifact-cache hit rates, journal census) so the
+effect of caching and parallelism is visible in the output.  The CLI
+exposes both.
+
+Passing a :class:`repro.obs.journal.RunJournal` makes the run narrate
+itself as schema-validated JSONL events: ``run_started`` first, then
+per-experiment (and, in parallel mode, per-warm-task) events, and a
+closing ``cache_stats`` / ``metrics_snapshot`` / ``run_finished``
+triple describing the run's own deltas.  The ``sim.branches`` counter
+in the ``metrics_snapshot`` event and the "simulated N branches" note
+in the report come from the same metrics registry, so they can never
+disagree.
 """
 
 from __future__ import annotations
@@ -15,36 +24,65 @@ import time
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..engine import SIMULATION_COUNTERS, get_cache
+from ..obs.journal import NullJournal, coalesce
+from ..obs.registry import REGISTRY
 from .experiments import EXPERIMENTS, FULL, ExperimentResult, Scale
 from .tables import TextTable
+
+Journal = Optional[object]  # RunJournal | NullJournal
 
 
 def run_all(
     scale: Scale = FULL,
     only: Optional[Iterable[str]] = None,
     jobs: int = 1,
+    journal: Journal = None,
 ) -> Dict[str, ExperimentResult]:
     """Run every (or the selected) experiment; returns id -> result.
 
     ``jobs > 1`` fans the battery out over a process pool (see
     :mod:`repro.harness.parallel`); results are merged in selection
     order and are identical to a serial run.  Each result carries a
-    ``duration_s`` wall-time stamp.
+    ``duration_s`` wall-time stamp.  ``journal`` (a
+    :class:`repro.obs.journal.RunJournal`) receives the structured
+    event stream for the run.
     """
+    journal = coalesce(journal)
     selected = list(only) if only is not None else list(EXPERIMENTS)
     unknown = [experiment_id for experiment_id in selected if experiment_id not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiment ids: {', '.join(unknown)}")
     from .parallel import run_parallel
 
-    return run_parallel(selected, scale, jobs)
+    journal.emit(
+        "run_started",
+        selection=selected,
+        jobs=jobs,
+        mode="parallel" if jobs > 1 else "serial",
+        scale={
+            "iterations": scale.iterations,
+            "pipeline_instructions": scale.pipeline_instructions,
+            "workloads": list(scale.workloads),
+        },
+    )
+    cache_baseline = get_cache().stats.snapshot()
+    metrics_baseline = REGISTRY.snapshot()
+    started = time.perf_counter()
+    results = run_parallel(selected, scale, jobs, journal=journal)
+    duration = time.perf_counter() - started
+    journal.emit("cache_stats", **get_cache().stats.since(cache_baseline).as_dict())
+    journal.emit("metrics_snapshot", **REGISTRY.since(metrics_baseline).as_dict())
+    journal.emit("run_finished", experiments=list(results), duration_s=duration)
+    return results
 
 
 def _default_clock() -> str:
     return time.strftime("%Y-%m-%d %H:%M:%S")
 
 
-def render_performance(results: Dict[str, ExperimentResult]) -> str:
+def render_performance(
+    results: Dict[str, ExperimentResult], journal: Journal = None
+) -> str:
     """The battery-performance section of a report."""
     table = TextTable(
         title="Battery performance",
@@ -72,6 +110,21 @@ def render_performance(results: Dict[str, ExperimentResult]) -> str:
             f" ({stats.hits / lookups:.0%} hit rate),"
             f" {stats.writes} writes"
         )
+    failed = int(REGISTRY.counter_value("experiments.failed_parallel"))
+    if failed:
+        table.add_note(
+            f"{failed} experiment(s) failed in parallel workers and were"
+            " re-run serially"
+        )
+    if journal is not None and not isinstance(journal, NullJournal):
+        census = ", ".join(
+            f"{name}={journal.event_counts[name]}"
+            for name in sorted(journal.event_counts)
+        )
+        where = f" -> {journal.path}" if getattr(journal, "path", None) else ""
+        table.add_note(
+            f"journal: {journal.events_written} events ({census}){where}"
+        )
     return table.to_text()
 
 
@@ -80,12 +133,14 @@ def render_report(
     scale: Scale,
     clock: Optional[Callable[[], str]] = None,
     performance: bool = True,
+    journal: Journal = None,
 ) -> str:
     """Render all experiment output as one report document.
 
     ``clock`` returns the ``generated:`` timestamp string; injecting a
     fixed clock (and ``performance=False``) makes the report
-    deterministic and diffable in CI.
+    deterministic and diffable in CI.  ``journal`` adds an event census
+    to the battery-performance section.
     """
     timestamp = (clock or _default_clock)()
     lines: List[str] = [
@@ -103,6 +158,6 @@ def render_report(
     if performance and any(
         result.duration_s is not None for result in results.values()
     ):
-        lines.append(render_performance(results))
+        lines.append(render_performance(results, journal=journal))
         lines.append("")
     return "\n".join(lines)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 
 @dataclass
@@ -46,11 +46,19 @@ class TextTable:
         return self.to_text()
 
 
-def pct(value: float) -> str:
-    """Format a rate as the paper prints them (whole percent)."""
-    return f"{value:.0%}"
+#: Rendering for an undefined ratio (empty denominator population).
+NA = "n/a"
 
 
-def pct1(value: float) -> str:
+def pct(value: Optional[float]) -> str:
+    """Format a rate as the paper prints them (whole percent).
+
+    ``None`` -- an undefined ratio, e.g. the PVN of an estimator that
+    never emitted a low-confidence tag -- renders as ``n/a``.
+    """
+    return NA if value is None else f"{value:.0%}"
+
+
+def pct1(value: Optional[float]) -> str:
     """One-decimal percent (used where whole percent hides the signal)."""
-    return f"{value:.1%}"
+    return NA if value is None else f"{value:.1%}"

@@ -25,6 +25,20 @@ closed forms behind the paper's Figure 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+#: metric name -> (numerator cell/property, denominator population).
+#: A metric is *undefined* when its denominator population is empty --
+#: e.g. PVN for an estimator that never emits a low-confidence tag.
+METRIC_POPULATIONS = {
+    "sens": ("c_hc", "correct"),
+    "spec": ("i_lc", "incorrect"),
+    "pvp": ("c_hc", "high_confidence"),
+    "pvn": ("i_lc", "low_confidence"),
+    "accuracy": ("correct", "total"),
+    "misprediction_rate": ("incorrect", "total"),
+    "coverage": ("low_confidence", "total"),
+}
 
 
 @dataclass
@@ -151,14 +165,70 @@ class QuadrantCounts:
             i_lc=self.i_lc + other.i_lc,
         )
 
+    # ------------------------------------------------------------------
+    # undefined-aware access
+    # ------------------------------------------------------------------
+
+    def metric(self, name: str, default: float = 0.0) -> float:
+        """Metric ``name`` with an *explicit* value for the undefined
+        case (empty denominator population).
+
+        The plain properties (``.pvn`` etc.) keep returning 0.0 for
+        backward compatibility; callers that must distinguish "no LC
+        tags ever" from "every LC tag was wrong" pass their own
+        ``default`` or use :meth:`metric_or_none`.
+        """
+        numerator_name, denominator_name = _metric_populations(name)
+        return _ratio(
+            getattr(self, numerator_name), getattr(self, denominator_name), default
+        )
+
+    def metric_or_none(self, name: str) -> Optional[float]:
+        """Metric ``name``, or ``None`` when it is undefined.
+
+        Renderers map ``None`` to ``n/a`` (see
+        :func:`repro.harness.tables.pct`) instead of printing a
+        misleading ``0.0%``.
+        """
+        numerator_name, denominator_name = _metric_populations(name)
+        denominator = getattr(self, denominator_name)
+        if not denominator:
+            return None
+        return getattr(self, numerator_name) / denominator
+
+    def defined(self, name: str) -> bool:
+        """Whether metric ``name`` has a non-empty denominator."""
+        return self.metric_or_none(name) is not None
+
     def summary(self) -> str:
-        """One-line rendering used by examples and the CLI."""
+        """One-line rendering used by examples and the CLI.
+
+        Undefined metrics render as ``n/a`` rather than ``0.0%``: an
+        estimator that never emits LC has *no* PVN, which the paper
+        treats as undefined, not as zero.
+        """
+
+        def fmt(name: str, decimals: int = 1) -> str:
+            value = self.metric_or_none(name)
+            return "   n/a" if value is None else f"{value:6.{decimals}%}"
+
         return (
-            f"sens={self.sens:6.1%} spec={self.spec:6.1%} "
-            f"pvp={self.pvp:6.1%} pvn={self.pvn:6.1%} "
-            f"(accuracy={self.accuracy:6.2%}, n={self.total:.0f})"
+            f"sens={fmt('sens')} spec={fmt('spec')} "
+            f"pvp={fmt('pvp')} pvn={fmt('pvn')} "
+            f"(accuracy={fmt('accuracy', 2)}, n={self.total:.0f})"
         )
 
 
-def _ratio(numerator: float, denominator: float) -> float:
-    return numerator / denominator if denominator else 0.0
+def _metric_populations(name: str) -> tuple:
+    try:
+        return METRIC_POPULATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"metric must be one of {sorted(METRIC_POPULATIONS)}, got {name!r}"
+        ) from None
+
+
+def _ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """``numerator / denominator``, or ``default`` when the denominator
+    is empty -- the undefined case the caller must choose a value for."""
+    return numerator / denominator if denominator else default

@@ -148,8 +148,15 @@ def metrics_differ(
 def format_with_interval(
     quadrant: QuadrantCounts, metric: str, confidence: float = 0.95
 ) -> str:
-    """'30.1% ±1.2%' style rendering for harness output."""
-    value = getattr(quadrant, metric)
+    """'30.1% ±1.2%' style rendering for harness output.
+
+    An undefined metric (empty denominator population, e.g. PVN when
+    the estimator never emitted LC) renders as ``n/a``: there is no
+    proportion to put an interval around.
+    """
+    value = quadrant.metric_or_none(metric)
+    if value is None:
+        return "n/a"
     low, high = metric_interval(quadrant, metric, confidence)
     margin = max(value - low, high - value)
     return f"{value:.1%} ±{margin:.1%}"

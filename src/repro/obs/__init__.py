@@ -1,0 +1,49 @@
+"""Observability: metrics registry, structured run journal, profiling.
+
+The paper's whole argument is that *measurement discipline* (the
+SENS/SPEC/PVP/PVN quadrant) is what makes confidence estimators
+comparable; this package applies the same discipline to the harness
+itself:
+
+* :mod:`repro.obs.registry` -- a process-wide registry of named
+  counters, timers and histograms with deterministic snapshot / delta /
+  merge semantics, so serial runs and parallel workers account their
+  work identically;
+* :mod:`repro.obs.journal` -- a structured JSONL run journal with a
+  documented, validated event schema (``repro run --journal PATH``);
+* :mod:`repro.obs.profile` -- ``cProfile`` wiring around a single
+  experiment and an observer-based hot-branch histogram (top-N
+  mispredicting sites per workload).
+
+``repro.obs.profile`` imports the experiment harness and must be
+imported explicitly (``from repro.obs import profile`` would create an
+import cycle through :mod:`repro.engine`, which depends on the
+registry).
+"""
+
+from .journal import (
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    JournalValidationError,
+    NullJournal,
+    RunJournal,
+    read_journal,
+    validate_event,
+    validate_journal,
+)
+from .registry import REGISTRY, MetricsRegistry, MetricsSnapshot, TimerStat
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "TimerStat",
+    "EVENT_TYPES",
+    "SCHEMA_VERSION",
+    "JournalValidationError",
+    "NullJournal",
+    "RunJournal",
+    "read_journal",
+    "validate_event",
+    "validate_journal",
+]

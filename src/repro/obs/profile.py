@@ -1,0 +1,144 @@
+"""Profiling hooks: ``cProfile`` around experiments, hot-branch census.
+
+Two complementary views of where the time and the mispredictions go:
+
+* :func:`profile_experiment` wires ``cProfile``/``pstats`` around a
+  single experiment run (``repro profile <experiment>``), answering
+  "which *code* is hot";
+* :func:`hot_branches` attaches a :class:`HotBranchObserver` to the
+  measurement loop (:func:`repro.engine.measure.measure` already takes
+  ``observers=``) and reports the top-N mispredicting branch sites per
+  workload, answering "which *branches* are hard" -- the per-site
+  instrumentation Lin & Tarsa argue turns a simulator into a research
+  instrument.
+
+This module imports the experiment harness, so it is deliberately not
+re-exported from ``repro.obs`` (see that package's docstring).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..engine import measure, workload_run
+from ..harness.experiments import FULL, ExperimentResult, Scale, run_experiment
+from ..harness.tables import TextTable, pct1
+from ..predictors import make_predictor
+from .registry import MetricsRegistry, get_registry
+
+#: pstats sort keys the CLI accepts.
+SORT_KEYS = ("cumulative", "tottime", "calls", "ncalls", "time")
+
+
+def profile_experiment(
+    experiment_id: str,
+    scale: Scale = FULL,
+    sort: str = "cumulative",
+    limit: int = 25,
+) -> Tuple[ExperimentResult, str]:
+    """Run one experiment under ``cProfile``.
+
+    Returns the experiment result plus the ``pstats`` report text
+    (top ``limit`` entries sorted by ``sort``).
+    """
+    if sort not in SORT_KEYS:
+        raise ValueError(f"sort must be one of {SORT_KEYS}, got {sort!r}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run_experiment(experiment_id, scale)
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(sort).print_stats(limit)
+    return result, stream.getvalue()
+
+
+@dataclass
+class HotBranchObserver:
+    """Measurement observer counting visits/mispredictions per site.
+
+    Pass an instance in ``measure(..., observers=[observer])``; it sees
+    every dynamic branch with prediction-time information only.  When a
+    ``registry`` is given the per-site misprediction counts are also
+    recorded into the ``hot_branches.<tag>`` histogram, so they ship
+    through parallel merges and land in ``metrics_snapshot`` journal
+    events like any other metric.
+    """
+
+    tag: str = ""
+    registry: Optional[MetricsRegistry] = None
+    visits: Dict[int, int] = field(default_factory=dict)
+    mispredictions: Dict[int, int] = field(default_factory=dict)
+
+    def __call__(
+        self,
+        pc: int,
+        predicted_taken: bool,
+        actual_taken: bool,
+        flags: Dict[str, bool],
+    ) -> None:
+        self.visits[pc] = self.visits.get(pc, 0) + 1
+        if predicted_taken != actual_taken:
+            self.mispredictions[pc] = self.mispredictions.get(pc, 0) + 1
+            if self.registry is not None:
+                self.registry.record(f"hot_branches.{self.tag}", f"{pc:#x}")
+
+    def top(self, n: int = 10) -> List[Tuple[int, int, int]]:
+        """Top ``n`` sites as ``(pc, mispredictions, visits)``.
+
+        Ordered by misprediction count descending, then PC ascending,
+        so the ranking is deterministic across runs.
+        """
+        ranked = sorted(
+            self.mispredictions.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [(pc, misses, self.visits[pc]) for pc, misses in ranked[:n]]
+
+
+def hot_branches(
+    workload: str,
+    predictor_name: str = "gshare",
+    scale: Scale = FULL,
+    top: int = 10,
+    record_metrics: bool = True,
+) -> Tuple[HotBranchObserver, TextTable]:
+    """Top-``top`` mispredicting branch sites for one workload.
+
+    Replays the workload's committed branch trace through a fresh
+    predictor with a :class:`HotBranchObserver` attached and renders
+    the census as a :class:`TextTable`.
+    """
+    trace = workload_run(workload, scale.iterations).trace
+    predictor = make_predictor(predictor_name)
+    observer = HotBranchObserver(
+        tag=f"{workload}.{predictor_name}",
+        registry=get_registry() if record_metrics else None,
+    )
+    result = measure(trace, predictor, {}, observers=[observer])
+    table = TextTable(
+        title=f"Hot branches: {workload} on {predictor_name}"
+        f" (top {top} mispredicting sites)",
+        headers=["pc", "mispredicts", "visits", "miss rate", "share"],
+    )
+    total_misses = result.mispredictions or 1
+    for pc, misses, visits in observer.top(top):
+        table.add_row(
+            [
+                f"{pc:#010x}",
+                f"{misses:,}",
+                f"{visits:,}",
+                pct1(misses / visits),
+                pct1(misses / total_misses),
+            ]
+        )
+    table.add_note(
+        f"{result.branches:,} branches, {result.mispredictions:,} mispredictions"
+        f" ({pct1(result.misprediction_rate)} overall)"
+    )
+    return observer, table

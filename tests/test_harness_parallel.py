@@ -14,7 +14,8 @@ from repro.harness import (
     render_report,
     run_all,
 )
-from repro.harness.parallel import default_jobs
+from repro.harness.parallel import CRASH_ENV, default_jobs
+from repro.obs.journal import RunJournal, read_journal
 
 
 @pytest.fixture()
@@ -112,6 +113,64 @@ class TestDiskCacheIntegration:
         assert "wall time" in report
 
 
+class TestPerExperimentFallback:
+    """A crashing worker costs only its own experiment (the bugfix):
+    survivors keep their parallel results, only the failed one re-runs
+    serially, and the journal records the failure with a traceback."""
+
+    SELECTION = ["fig1", "tab3", "fig3"]
+
+    def _run_with_crash(self, tmp_path, monkeypatch, crash="tab3"):
+        monkeypatch.setenv(CRASH_ENV, crash)
+        path = tmp_path / "crash.jsonl"
+        with RunJournal(path) as journal:
+            results = run_all(SMOKE, only=self.SELECTION, jobs=2, journal=journal)
+        return results, read_journal(path)
+
+    def test_only_failed_experiment_reruns_serially(
+        self, isolated_cache, tmp_path, monkeypatch
+    ):
+        results, events = self._run_with_crash(tmp_path, monkeypatch)
+
+        failed = [e for e in events if e["event"] == "experiment_failed"]
+        assert [e["experiment"] for e in failed] == ["tab3"]
+        assert "injected worker crash" in failed[0]["error"]
+        assert "RuntimeError" in failed[0]["traceback"]
+
+        serial_starts = [
+            e
+            for e in events
+            if e["event"] == "experiment_started" and e["mode"] == "serial"
+        ]
+        assert [e["experiment"] for e in serial_starts] == ["tab3"]
+
+        finished = {
+            e["experiment"]: e["mode"]
+            for e in events
+            if e["event"] == "experiment_finished"
+        }
+        assert finished == {"fig1": "parallel", "fig3": "parallel", "tab3": "serial"}
+
+    def test_battery_still_complete_and_ordered(
+        self, isolated_cache, tmp_path, monkeypatch
+    ):
+        results, __ = self._run_with_crash(tmp_path, monkeypatch)
+        assert list(results) == self.SELECTION
+        assert all(result.duration_s is not None for result in results.values())
+        report = render_report(results, SMOKE)
+        for experiment_id in self.SELECTION:
+            assert results[experiment_id].to_text() in report
+
+    def test_crashed_result_matches_clean_serial_run(
+        self, isolated_cache, tmp_path, monkeypatch
+    ):
+        results, __ = self._run_with_crash(tmp_path, monkeypatch)
+        monkeypatch.delenv(CRASH_ENV, raising=False)
+        clear_memoised()
+        clean = run_all(SMOKE, only=["tab3"], jobs=1)
+        assert results["tab3"].to_text() == clean["tab3"].to_text()
+
+
 class TestRunAllContract:
     def test_unknown_id_rejected_before_pool_spinup(self):
         with pytest.raises(KeyError):
@@ -124,6 +183,21 @@ class TestRunAllContract:
         assert default_jobs() == 6
         monkeypatch.setenv("REPRO_JOBS", "garbage")
         assert default_jobs() == 1
+
+    def test_default_jobs_warns_on_unparseable_value(self, monkeypatch, capsys):
+        """The bugfix: a bad REPRO_JOBS is announced, not swallowed."""
+        monkeypatch.setenv("REPRO_JOBS", "four")
+        import io
+
+        stream = io.StringIO()
+        assert default_jobs(journal=RunJournal(stream)) == 1
+        assert "'four'" in capsys.readouterr().err
+        assert '"context": "REPRO_JOBS"' in stream.getvalue()
+
+    def test_default_jobs_quiet_on_valid_value(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert default_jobs() == 2
+        assert capsys.readouterr().err == ""
 
 
 class TestReportClock:

@@ -106,6 +106,58 @@ class TestQuadrantBasics:
             assert scaled.spec == pytest.approx(quadrant.spec)
 
 
+class TestUndefinedMetrics:
+    """Undefined ratios (empty denominator populations) are not zero:
+    an estimator that never emits LC has no PVN at all."""
+
+    all_hc = QuadrantCounts(c_hc=90, i_hc=10)  # no LC tags ever
+
+    def test_metric_or_none_on_empty_population(self):
+        assert self.all_hc.metric_or_none("pvn") is None
+        assert self.all_hc.metric_or_none("pvp") == pytest.approx(0.9)
+        empty = QuadrantCounts()
+        for name in ("sens", "spec", "pvp", "pvn", "accuracy"):
+            assert empty.metric_or_none(name) is None
+
+    def test_true_zero_stays_a_number(self):
+        # LC tags exist but every one is wrong: PVN is genuinely 0.0
+        quadrant = QuadrantCounts(c_hc=5, c_lc=3)
+        assert quadrant.metric_or_none("pvn") == 0.0
+        assert quadrant.defined("pvn")
+
+    def test_defined(self):
+        assert not self.all_hc.defined("pvn")
+        assert self.all_hc.defined("sens")
+
+    def test_metric_takes_explicit_default(self):
+        assert self.all_hc.metric("pvn") == 0.0  # backward-compatible
+        assert self.all_hc.metric("pvn", default=float("nan")) != 0.0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            self.all_hc.metric_or_none("frobnication")
+
+    def test_properties_keep_zero_for_compatibility(self):
+        assert self.all_hc.pvn == 0.0
+
+    def test_summary_renders_na_not_zero_percent(self):
+        text = self.all_hc.summary()
+        assert "pvn=   n/a" in text
+        assert "pvn= 0.0%" not in text
+
+    def test_table_formatters_map_none_to_na(self):
+        from repro.harness.tables import pct, pct1
+
+        assert pct(None) == "n/a"
+        assert pct1(None) == "n/a"
+        assert pct(0.0) != "n/a"
+
+    def test_interval_formatting_maps_undefined_to_na(self):
+        from repro.metrics.stats import format_with_interval
+
+        assert format_with_interval(self.all_hc, "pvn") == "n/a"
+
+
 class TestAveraging:
     def test_paper_style_average_uses_quadrants(self):
         heavy = QuadrantCounts(c_hc=90, i_hc=0, c_lc=0, i_lc=10)

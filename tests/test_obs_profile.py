@@ -1,0 +1,75 @@
+"""Profiling hooks: cProfile wiring and the hot-branch census."""
+
+import pytest
+
+from repro.harness import Scale
+from repro.obs.profile import (
+    HotBranchObserver,
+    hot_branches,
+    profile_experiment,
+)
+from repro.obs.registry import MetricsRegistry
+
+SCALE = Scale(iterations=40, pipeline_instructions=5_000, workloads=("compress",))
+
+
+class TestProfileExperiment:
+    def test_profiles_fig1(self):
+        result, stats_text = profile_experiment("fig1", SCALE, limit=5)
+        assert result.experiment_id == "fig1"
+        assert "function calls" in stats_text
+        assert "cumulative" in stats_text
+
+    def test_rejects_unknown_sort(self):
+        with pytest.raises(ValueError):
+            profile_experiment("fig1", SCALE, sort="bogus")
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            profile_experiment("tab9", SCALE)
+
+
+class TestHotBranchObserver:
+    def test_counts_visits_and_misses(self):
+        observer = HotBranchObserver()
+        observer(0x10, True, True, {})
+        observer(0x10, True, False, {})
+        observer(0x20, False, True, {})
+        assert observer.visits == {0x10: 2, 0x20: 1}
+        assert observer.mispredictions == {0x10: 1, 0x20: 1}
+
+    def test_top_orders_by_misses_then_pc(self):
+        observer = HotBranchObserver()
+        for __ in range(3):
+            observer(0x30, True, False, {})
+        observer(0x20, True, False, {})
+        observer(0x10, True, False, {})
+        top = observer.top(2)
+        assert top[0] == (0x30, 3, 3)
+        assert top[1] == (0x10, 1, 1)
+
+    def test_registry_histogram_recording(self):
+        registry = MetricsRegistry()
+        observer = HotBranchObserver(tag="w.p", registry=registry)
+        observer(0x40, True, False, {})
+        observer(0x40, False, True, {})
+        assert registry.histogram_value("hot_branches.w.p") == {"0x40": 2}
+
+
+class TestHotBranches:
+    def test_census_renders_table(self):
+        observer, table = hot_branches(
+            "compress", "gshare", SCALE, top=3, record_metrics=False
+        )
+        text = table.to_text()
+        assert "Hot branches: compress on gshare" in text
+        assert "mispredicts" in text
+        assert observer.mispredictions  # something actually mispredicted
+        assert len(table.rows) <= 3
+
+    def test_census_feeds_registry(self):
+        from repro.obs.registry import REGISTRY
+
+        REGISTRY.discard("hot_branches.compress.gshare")
+        hot_branches("compress", "gshare", SCALE, top=2)
+        assert REGISTRY.histogram_value("hot_branches.compress.gshare")
