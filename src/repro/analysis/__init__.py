@@ -1,6 +1,11 @@
 """Temporal analyses: distance curves, clustering, design-space sweeps."""
 
-from .clustering import measure_boosting, misestimation_distance
+from .clustering import (
+    BoostingObserver,
+    MisestimationDistanceObserver,
+    measure_boosting,
+    misestimation_distance,
+)
 from .distance import (
     DistanceBucket,
     DistanceCurve,
@@ -22,6 +27,8 @@ from .sweeps import (
 )
 
 __all__ = [
+    "BoostingObserver",
+    "MisestimationDistanceObserver",
     "measure_boosting",
     "misestimation_distance",
     "DistanceBucket",

@@ -10,17 +10,81 @@ Two measurements back the paper's boosting argument:
 * :func:`measure_boosting` -- the empirical PVN of "k consecutive
   low-confidence estimates" events versus the Bernoulli prediction
   ``1 - (1 - PVN)^k``.
+
+Both are built on small observer classes that track *one* estimator by
+name in the flag mapping :func:`repro.engine.measure.measure` hands
+every observer.  Earlier versions unpacked ``flags.values()`` and
+assumed exactly one estimator was attached, which crashed any
+measurement carrying zero or several estimators -- exactly what the
+speculation-control sweeps do.  The observers skip branches measured
+without their estimator attached, so they compose with arbitrary
+multi-estimator measurements.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from ..confidence.base import ConfidenceEstimator
 from ..confidence.boosting import BoostingAccumulator, BoostingResult
 from ..engine.measure import measure
 from ..predictors.base import BranchPredictor
 from .distance import DistanceCurve, _curve_from_pairs
+
+#: Estimator slot the single-estimator convenience wrappers use.
+DEFAULT_SLOT = "est"
+
+
+class MisestimationDistanceObserver:
+    """Collect (distance, misestimated) pairs for one named estimator.
+
+    A branch is *mis-estimated* when the confidence estimate disagrees
+    with the eventual outcome (HC but mispredicted, or LC but correct).
+    Branches whose flag mapping does not carry ``estimator_name`` (the
+    estimator was not attached to that measurement) are ignored.
+    """
+
+    def __init__(self, estimator_name: str = DEFAULT_SLOT):
+        self.estimator_name = estimator_name
+        self.pairs: List[Tuple[int, bool]] = []
+        self._distance = 0
+
+    def __call__(
+        self, pc: int, predicted: bool, actual: bool, flags: Dict[str, bool]
+    ) -> None:
+        high = flags.get(self.estimator_name)
+        if high is None:
+            return
+        correct_prediction = predicted == actual
+        misestimated = high != correct_prediction
+        self.pairs.append((self._distance, misestimated))
+        self._distance = 0 if misestimated else self._distance + 1
+
+
+class BoostingObserver:
+    """Feed one named estimator's stream into a :class:`BoostingAccumulator`.
+
+    Like :class:`MisestimationDistanceObserver`, branches measured
+    without the named estimator attached are skipped.
+    """
+
+    def __init__(
+        self,
+        accumulator: BoostingAccumulator,
+        estimator_name: str = DEFAULT_SLOT,
+    ):
+        self.accumulator = accumulator
+        self.estimator_name = estimator_name
+
+    def __call__(
+        self, pc: int, predicted: bool, actual: bool, flags: Dict[str, bool]
+    ) -> None:
+        high = flags.get(self.estimator_name)
+        if high is None:
+            return
+        self.accumulator.observe(
+            low_confidence=not high, mispredicted=predicted != actual
+        )
 
 
 def misestimation_distance(
@@ -31,23 +95,12 @@ def misestimation_distance(
 ) -> DistanceCurve:
     """Mis-estimation rate vs. distance since the last mis-estimation.
 
-    A branch is *mis-estimated* when the confidence estimate disagrees
-    with the eventual outcome (HC but mispredicted, or LC but correct).
     The flatter this curve, the better the Bernoulli approximation
     behind boosting.
     """
-    pairs: List[Tuple[int, bool]] = []
-    state = {"distance": 0}
-
-    def observer(pc: int, predicted: bool, actual: bool, flags) -> None:
-        (high,) = flags.values()
-        correct_prediction = predicted == actual
-        misestimated = high != correct_prediction
-        pairs.append((state["distance"], misestimated))
-        state["distance"] = 0 if misestimated else state["distance"] + 1
-
-    measure(trace, predictor, {"est": estimator}, observers=[observer])
-    return _curve_from_pairs(pairs, "mis-estimation", max_distance)
+    observer = MisestimationDistanceObserver(DEFAULT_SLOT)
+    measure(trace, predictor, {DEFAULT_SLOT: estimator}, observers=[observer])
+    return _curve_from_pairs(observer.pairs, "mis-estimation", max_distance)
 
 
 def measure_boosting(
@@ -58,12 +111,6 @@ def measure_boosting(
 ) -> List[BoostingResult]:
     """Empirical boosted PVN of ``estimator`` for each window size."""
     accumulator = BoostingAccumulator(list(ks))
-
-    def observer(pc: int, predicted: bool, actual: bool, flags) -> None:
-        (high,) = flags.values()
-        accumulator.observe(
-            low_confidence=not high, mispredicted=predicted != actual
-        )
-
-    measure(trace, predictor, {"est": estimator}, observers=[observer])
+    observer = BoostingObserver(accumulator, DEFAULT_SLOT)
+    measure(trace, predictor, {DEFAULT_SLOT: estimator}, observers=[observer])
     return accumulator.results()

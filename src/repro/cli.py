@@ -7,6 +7,7 @@ Usage examples::
     repro run --scale smoke --jobs 4   # whole battery, small + parallel
     repro run --journal run.jsonl      # + structured JSONL run journal
     repro run-all --out report.txt     # the whole battery
+    repro speculate --scale smoke      # the speculation-control battery
     repro profile tab2 --scale smoke   # cProfile one experiment
     repro profile fig6 --hot-branches  # + top mispredicting sites
     repro journal run.jsonl            # validate/summarise a journal
@@ -26,6 +27,7 @@ from .engine import trace_branches, workload_program, workload_run
 from .harness import (
     EXPERIMENTS,
     SCALES,
+    SPECULATION_BATTERY,
     Scale,
     default_jobs,
     render_report,
@@ -175,6 +177,28 @@ def _command_run_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_speculate(args: argparse.Namespace) -> int:
+    """Run the speculation-control battery and render its report."""
+    journal = _open_journal(args)
+    try:
+        jobs = _resolve_execution(args, journal)
+        scale = _scale_from_args(args)
+        results = run_all(
+            scale, only=list(SPECULATION_BATTERY), jobs=jobs, journal=journal
+        )
+        report = render_report(results, scale, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
 def _command_profile(args: argparse.Namespace) -> int:
     """cProfile one experiment; optionally census hot branch sites."""
     scale = _scale_from_args(args)
@@ -310,6 +334,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_arguments(run_all_parser)
     _add_execution_arguments(run_all_parser)
 
+    speculate_parser = subparsers.add_parser(
+        "speculate",
+        help="run the speculation-control battery"
+        f" ({', '.join(SPECULATION_BATTERY)})",
+    )
+    speculate_parser.add_argument(
+        "--out", default=None, help="write the report to a file"
+    )
+    _add_scale_arguments(speculate_parser)
+    _add_execution_arguments(speculate_parser)
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk artifact cache"
     )
@@ -381,6 +416,7 @@ _COMMANDS = {
     "list": _command_list,
     "run": _command_run,
     "run-all": _command_run_all,
+    "speculate": _command_speculate,
     "cache": _command_cache,
     "plot": _command_plot,
     "profile": _command_profile,

@@ -83,6 +83,14 @@ class CacheStats:
         }
 
 
+def _json_representable(value: Any) -> bool:
+    try:
+        json.dumps(value, sort_keys=True)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
 def default_cache_dir() -> Path:
     """Resolve the cache directory from the environment."""
     override = os.environ.get(DIR_ENV)
@@ -114,13 +122,28 @@ class ArtifactCache:
         """Content address for one artifact.
 
         ``parts`` must be JSON-representable (tuples become lists);
-        insertion order does not matter.
+        insertion order does not matter.  Anything else -- an estimator
+        instance, a config object -- raises :class:`TypeError` instead
+        of being silently stringified: ``str()`` fallbacks collide when
+        reprs match and spuriously miss when they embed ``object at
+        0x...`` addresses.
         """
-        payload = json.dumps(
-            {"kind": kind, "salt": self.salt, "parts": parts},
-            sort_keys=True,
-            default=str,
-        )
+        try:
+            payload = json.dumps(
+                {"kind": kind, "salt": self.salt, "parts": parts},
+                sort_keys=True,
+            )
+        except (TypeError, ValueError) as error:
+            offending = sorted(
+                name
+                for name, value in parts.items()
+                if not _json_representable(value)
+            )
+            raise TypeError(
+                f"cache key parts for kind {kind!r} must be "
+                f"JSON-representable; offending part(s): "
+                f"{', '.join(offending) or '<unknown>'} ({error})"
+            ) from None
         digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
         return f"{kind}-{digest[:40]}"
 

@@ -13,8 +13,18 @@ from .experiments import (
     standard_estimators,
 )
 from .parallel import default_jobs, plan_warm_tasks, run_parallel
-from .runner import render_performance, render_report, run_all
-from .tables import TextTable, pct, pct1
+from .runner import (
+    render_performance,
+    render_report,
+    render_speculation_control,
+    run_all,
+)
+from .speculation import (
+    GATE_THRESHOLDS,
+    SPECULATION_BATTERY,
+    SPECULATION_ESTIMATORS,
+)
+from .tables import TextTable, pct, pct1, spct1
 
 __all__ = [
     "EXPERIMENTS",
@@ -32,8 +42,13 @@ __all__ = [
     "run_parallel",
     "render_performance",
     "render_report",
+    "render_speculation_control",
     "run_all",
+    "GATE_THRESHOLDS",
+    "SPECULATION_BATTERY",
+    "SPECULATION_ESTIMATORS",
     "TextTable",
     "pct",
     "pct1",
+    "spct1",
 ]

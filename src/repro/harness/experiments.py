@@ -279,10 +279,13 @@ def clear_memoised() -> None:
     Tests use this to force the next access through the artifact
     cache; it bounds memory in long-lived processes too.
     """
+    from .speculation import clear_speculation_memoised
+
     _trace.cache_clear()
     _static_sites.cache_clear()
     _pipeline_result.cache_clear()
     table2_workload.cache_clear()
+    clear_speculation_memoised()
 
 
 # ----------------------------------------------------------------------
@@ -935,6 +938,12 @@ EXPERIMENTS: Dict[str, Callable[[Scale], ExperimentResult]] = {
     "tab4": experiment_table4,
     "boost": experiment_boosting,
 }
+
+# Loading the speculation-control battery registers its experiments in
+# EXPERIMENTS (see the bottom of harness/speculation.py); the module
+# imports the scaffolding above, so it must load after EXPERIMENTS
+# exists, whichever of the two modules is imported first.
+from . import speculation as _speculation  # noqa: E402,F401
 
 
 def run_experiment(experiment_id: str, scale: Scale = FULL) -> ExperimentResult:

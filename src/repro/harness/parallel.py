@@ -61,6 +61,13 @@ from .experiments import (
     run_experiment,
     table2_workload,
 )
+from .speculation import (
+    GATE_THRESHOLDS,
+    SPECULATION_ESTIMATORS,
+    eager_cell,
+    gating_cell,
+    inversion_cell,
+)
 
 Journal = Optional[object]  # RunJournal | NullJournal; kwarg convenience
 
@@ -124,6 +131,42 @@ def plan_warm_tasks(
                 heavy_tasks[
                     ("table2", (predictor, workload, scale.iterations))
                 ] = None
+        if experiment_id == "speculation-gating":
+            for workload in scale.workloads:
+                for estimator in SPECULATION_ESTIMATORS:
+                    for threshold in GATE_THRESHOLDS:
+                        heavy_tasks[
+                            (
+                                "gating",
+                                (
+                                    workload,
+                                    estimator,
+                                    threshold,
+                                    scale.iterations,
+                                    scale.pipeline_instructions,
+                                ),
+                            )
+                        ] = None
+        elif experiment_id == "speculation-eager":
+            for workload in scale.workloads:
+                for estimator in SPECULATION_ESTIMATORS:
+                    heavy_tasks[
+                        (
+                            "eager",
+                            (
+                                workload,
+                                estimator,
+                                scale.iterations,
+                                scale.pipeline_instructions,
+                            ),
+                        )
+                    ] = None
+        elif experiment_id == "speculation-inversion":
+            for workload in scale.workloads:
+                for estimator in SPECULATION_ESTIMATORS:
+                    heavy_tasks[
+                        ("inversion", (workload, estimator, scale.iterations))
+                    ] = None
     return list(trace_tasks), list(heavy_tasks)
 
 
@@ -166,6 +209,12 @@ def _warm_worker(task: WarmTask) -> Tuple[CacheStats, MetricsSnapshot, float]:
     elif kind == "table2":
         predictor, workload, iterations = args
         table2_workload(predictor, workload, iterations)
+    elif kind == "gating":
+        gating_cell(*args)
+    elif kind == "eager":
+        eager_cell(*args)
+    elif kind == "inversion":
+        inversion_cell(*args)
     else:  # pragma: no cover - plan and worker are defined together
         raise ValueError(f"unknown warm task kind {kind!r}")
     duration = time.perf_counter() - started

@@ -70,6 +70,12 @@ def run_all(
     started = time.perf_counter()
     results = run_parallel(selected, scale, jobs, journal=journal)
     duration = time.perf_counter() - started
+    for experiment_id, result in results.items():
+        rows = result.data.get("journal_rows")
+        if rows:
+            journal.emit(
+                "speculation_summary", experiment=experiment_id, rows=rows
+            )
     journal.emit("cache_stats", **get_cache().stats.since(cache_baseline).as_dict())
     journal.emit("metrics_snapshot", **REGISTRY.since(metrics_baseline).as_dict())
     journal.emit("run_finished", experiments=list(results), duration_s=duration)
@@ -128,6 +134,73 @@ def render_performance(
     return table.to_text()
 
 
+def render_speculation_control(
+    results: Dict[str, ExperimentResult],
+) -> Optional[str]:
+    """The "Speculation control" summary section of a report.
+
+    Built from the ``speculation-gating`` (and, when present,
+    ``speculation-eager``) results: one row per workload/estimator with
+    the paper's two axes -- wrong-path instructions saved and IPC delta
+    -- so the trade-off is readable without digging through the
+    per-experiment tables.  Returns ``None`` when no speculation
+    experiment ran.
+    """
+    gating = results.get("speculation-gating")
+    eager = results.get("speculation-eager")
+    if gating is None and eager is None:
+        return None
+    from .tables import pct1, spct1
+
+    lines: List[str] = ["## Speculation control", ""]
+    if gating is not None:
+        table = TextTable(
+            title="Speculation control summary: savings vs slowdown"
+            " per workload (pipeline gating)",
+            headers=[
+                "workload",
+                "estimator",
+                "thr",
+                "wrong-path saved",
+                "squash cut",
+                "ipc delta",
+                "slowdown",
+            ],
+        )
+        for cell in gating.data["cells"]:
+            table.add_row(
+                [
+                    cell.workload,
+                    cell.estimator,
+                    cell.threshold,
+                    cell.wrong_path_saved,
+                    pct1(cell.squash_reduction),
+                    spct1(cell.ipc_delta),
+                    spct1(cell.slowdown),
+                ]
+            )
+        lines.append(table.to_text())
+        lines.append("")
+    if eager is not None:
+        table = TextTable(
+            title="Speculation control summary: dual-path forks per workload",
+            headers=["workload", "estimator", "forks", "covered", "speedup"],
+        )
+        for cell in eager.data["cells"]:
+            table.add_row(
+                [
+                    cell.workload,
+                    cell.estimator,
+                    cell.forks,
+                    cell.covered_mispredictions,
+                    spct1(cell.speedup),
+                ]
+            )
+        lines.append(table.to_text())
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")
+
+
 def render_report(
     results: Dict[str, ExperimentResult],
     scale: Scale,
@@ -154,6 +227,10 @@ def render_report(
     ]
     for experiment_id, result in results.items():
         lines.append(result.to_text())
+        lines.append("")
+    speculation = render_speculation_control(results)
+    if speculation:
+        lines.append(speculation)
         lines.append("")
     if performance and any(
         result.duration_s is not None for result in results.values()

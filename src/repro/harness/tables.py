@@ -62,3 +62,8 @@ def pct(value: Optional[float]) -> str:
 def pct1(value: Optional[float]) -> str:
     """One-decimal percent (used where whole percent hides the signal)."""
     return NA if value is None else f"{value:.1%}"
+
+
+def spct1(value: Optional[float]) -> str:
+    """Signed one-decimal percent for deltas (explicit ``+``/``-``)."""
+    return NA if value is None else f"{value:+.1%}"

@@ -15,6 +15,9 @@ Event vocabulary (see ``docs/observability.md`` for the field tables):
   the scheduler re-runs just that experiment serially afterwards;
 * ``warning`` -- non-fatal configuration or scheduling problems (bad
   ``REPRO_JOBS``, pool-level fallback);
+* ``speculation_summary`` -- per speculation-control experiment, the
+  per-workload result rows (wrong-path savings, IPC delta, ...) the
+  report's "Speculation control" section is built from;
 * ``cache_stats`` -- the run's artifact-cache hit/miss delta;
 * ``metrics_snapshot`` -- the run's metrics-registry delta
   (:mod:`repro.obs.registry`), including ``sim.branches``;
@@ -61,6 +64,7 @@ EVENT_TYPES: Dict[str, Dict[str, Union[type, Tuple[type, ...]]]] = {
     },
     "experiment_failed": {"experiment": str, "error": str, "traceback": str},
     "warning": {"message": str},
+    "speculation_summary": {"experiment": str, "rows": list},
     "cache_stats": {
         "hits": int,
         "misses": int,

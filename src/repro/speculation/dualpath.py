@@ -46,15 +46,17 @@ class EagerPipelineSimulator(PipelineSimulator):
         self,
         program: Program,
         predictor: BranchPredictor,
-        config: PipelineConfig = None,
-        estimators: Mapping[str, ConfidenceEstimator] = None,
-        fork_on: str = None,
+        config: Optional[PipelineConfig] = None,
+        estimators: Optional[Mapping[str, ConfidenceEstimator]] = None,
+        fork_on: Optional[str] = None,
         fork_switch_penalty: int = 1,
     ):
         super().__init__(program, predictor, config=config, estimators=estimators)
+        available = ", ".join(sorted(self.estimators)) or "<none attached>"
         if fork_on is None or fork_on not in self.estimators:
             raise ValueError(
-                f"fork_on must name one of the attached estimators, got {fork_on!r}"
+                f"fork_on must name one of the attached estimators "
+                f"({available}), got {fork_on!r}"
             )
         if fork_switch_penalty < 0:
             raise ValueError("fork_switch_penalty must be non-negative")
@@ -206,7 +208,7 @@ def compare_eager_execution(
     program: Program,
     predictor_factory: Callable[[], BranchPredictor],
     estimator_factory: Callable[[BranchPredictor], ConfidenceEstimator],
-    config: PipelineConfig = None,
+    config: Optional[PipelineConfig] = None,
     max_instructions: Optional[int] = None,
     fork_switch_penalty: int = 1,
 ) -> EagerComparison:

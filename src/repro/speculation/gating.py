@@ -51,18 +51,24 @@ class GatedPipelineSimulator(PipelineSimulator):
         self,
         program: Program,
         predictor: BranchPredictor,
-        config: PipelineConfig = None,
-        estimators: Mapping[str, ConfidenceEstimator] = None,
-        gate_on: str = None,
+        config: Optional[PipelineConfig] = None,
+        estimators: Optional[Mapping[str, ConfidenceEstimator]] = None,
+        gate_on: Optional[str] = None,
         gate_threshold: int = 1,
     ):
         super().__init__(program, predictor, config=config, estimators=estimators)
+        available = ", ".join(sorted(self.estimators)) or "<none attached>"
         if gate_on is None or gate_on not in self.estimators:
             raise ValueError(
-                f"gate_on must name one of the attached estimators, got {gate_on!r}"
+                f"gate_on must name one of the attached estimators "
+                f"({available}), got {gate_on!r}"
             )
         if gate_threshold < 1:
-            raise ValueError("gate_threshold must be >= 1")
+            raise ValueError(
+                f"gate_threshold must be >= 1 (got {gate_threshold}); it is "
+                f"the number of unresolved low-confidence branches, judged "
+                f"by estimator {gate_on!r}, that stalls fetch"
+            )
         self.gate_on = gate_on
         self.gate_threshold = gate_threshold
         self.gated_cycles = 0
@@ -122,7 +128,7 @@ def compare_gating(
     predictor_factory: Callable[[], BranchPredictor],
     estimator_factory: Callable[[BranchPredictor], ConfidenceEstimator],
     gate_threshold: int = 1,
-    config: PipelineConfig = None,
+    config: Optional[PipelineConfig] = None,
     max_instructions: Optional[int] = None,
 ) -> GatingComparison:
     """Run the same workload gated and ungated and compare.

@@ -2,8 +2,19 @@
 
 import pytest
 
-from repro.analysis import measure_boosting, misestimation_distance
-from repro.confidence import JRSEstimator, boosted_pvn
+from repro.analysis import (
+    BoostingObserver,
+    MisestimationDistanceObserver,
+    measure_boosting,
+    misestimation_distance,
+)
+from repro.confidence import (
+    BoostingAccumulator,
+    JRSEstimator,
+    MispredictionDistanceEstimator,
+    boosted_pvn,
+)
+from repro.engine import measure
 from repro.predictors import GsharePredictor
 
 
@@ -26,6 +37,76 @@ class TestMisestimationDistance:
         )
         # once the predictor warms up every branch is correct yet LC
         assert curve.buckets[0].misprediction_rate > 0.9
+
+
+class TestMultiEstimatorObservers:
+    """Regression: the observers used to do ``(high,) = flags.values()``
+    and raised ValueError the moment ``measure()`` carried zero or
+    several estimators (exactly what the gating sweeps do)."""
+
+    def test_two_estimators_at_once(self, compress_trace):
+        """Measuring two estimators concurrently must not crash, and the
+        named estimator's curve must match a single-estimator run."""
+        observer = MisestimationDistanceObserver("jrs")
+        measure(
+            compress_trace,
+            GsharePredictor(),
+            {
+                "jrs": JRSEstimator(threshold=15),
+                "dist": MispredictionDistanceEstimator(4),
+            },
+            observers=[observer],
+        )
+        solo = misestimation_distance(
+            compress_trace, GsharePredictor(), JRSEstimator(threshold=15)
+        )
+        from repro.analysis.distance import _curve_from_pairs
+
+        paired = _curve_from_pairs(observer.pairs, "mis-estimation", 12)
+        assert paired.buckets == solo.buckets
+
+    def test_boosting_observer_with_two_estimators(self, compress_trace):
+        accumulator = BoostingAccumulator([1, 2])
+        observer = BoostingObserver(accumulator, "jrs")
+        measure(
+            compress_trace,
+            GsharePredictor(),
+            {
+                "jrs": JRSEstimator(threshold=15),
+                "dist": MispredictionDistanceEstimator(4),
+            },
+            observers=[observer],
+        )
+        solo = measure_boosting(
+            compress_trace, GsharePredictor(), JRSEstimator(threshold=15), ks=[1, 2]
+        )
+        for mine, theirs in zip(accumulator.results(), solo):
+            assert mine.events == theirs.events
+            assert mine.events_with_misprediction == theirs.events_with_misprediction
+
+    def test_zero_estimators_do_not_crash(self, compress_trace):
+        """An estimator-less measurement simply never feeds the observers."""
+        distance_observer = MisestimationDistanceObserver("jrs")
+        boosting_observer = BoostingObserver(BoostingAccumulator([1]), "jrs")
+        measure(
+            compress_trace,
+            GsharePredictor(),
+            {},
+            observers=[distance_observer, boosting_observer],
+        )
+        assert distance_observer.pairs == []
+        assert boosting_observer.accumulator.results()[0].events == 0
+
+    def test_absent_name_is_skipped(self, compress_trace):
+        """Flags for other estimators are ignored, not misattributed."""
+        observer = MisestimationDistanceObserver("missing")
+        measure(
+            compress_trace,
+            GsharePredictor(),
+            {"jrs": JRSEstimator(threshold=15)},
+            observers=[observer],
+        )
+        assert observer.pairs == []
 
 
 class TestMeasureBoosting:

@@ -40,6 +40,68 @@ class TestKeying:
         assert cache.key("pipeline", w="gcc").startswith("pipeline-")
 
 
+class _ConstantRepr:
+    """Two distinct configs whose ``str()`` is identical."""
+
+    def __init__(self, payload):
+        self.payload = payload
+
+    def __str__(self):
+        return "config"
+
+    __repr__ = __str__
+
+
+class TestNonJsonParts:
+    """``key`` used to fall back to ``json.dumps(..., default=str)``:
+    distinct objects with matching reprs silently collided, and objects
+    whose repr embeds ``object at 0x...`` never hit the cache again."""
+
+    def test_colliding_reprs_raise_instead_of_colliding(self, cache):
+        with pytest.raises(TypeError, match=r"estimator"):
+            cache.key("thing", estimator=_ConstantRepr(1))
+        # the bug: these two used to produce the SAME key
+        with pytest.raises(TypeError):
+            cache.key("thing", estimator=_ConstantRepr(2))
+
+    def test_address_bearing_repr_raises_instead_of_missing(self, cache):
+        # the bug: repr embeds `object at 0x...`, a fresh key each call
+        with pytest.raises(TypeError, match=r"config"):
+            cache.key("thing", config=object())
+
+    def test_error_names_every_offending_part(self, cache):
+        with pytest.raises(TypeError, match=r"config, estimator"):
+            cache.key(
+                "thing",
+                estimator=object(),
+                config=object(),
+                workload="gcc",
+            )
+
+    def test_error_names_kind(self, cache):
+        with pytest.raises(TypeError, match=r"'pipeline'"):
+            cache.key("pipeline", config=object())
+
+    def test_cached_propagates_key_error_without_computing(self, cache):
+        calls = []
+        with pytest.raises(TypeError):
+            cache.cached("thing", lambda: calls.append(1), bad=object())
+        assert not calls
+
+    def test_json_representable_parts_still_work(self, cache):
+        key = cache.key(
+            "thing",
+            text="gcc",
+            number=3,
+            ratio=0.5,
+            flag=True,
+            nothing=None,
+            seq=(1, 2, 3),
+            mapping={"a": 1},
+        )
+        assert key.startswith("thing-")
+
+
 class TestHitMiss:
     def test_miss_then_hit(self, cache):
         calls = []

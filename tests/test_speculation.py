@@ -67,14 +67,14 @@ class TestGating:
     def test_gate_must_name_an_estimator(self):
         prog = program(iterations=5)
         predictor = GsharePredictor()
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"\(gate\).*got 'other'"):
             GatedPipelineSimulator(
                 prog,
                 predictor,
                 estimators={"gate": jrs_factory(predictor)},
                 gate_on="other",
             )
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"gate_threshold.*got 0.*'gate'"):
             GatedPipelineSimulator(
                 prog,
                 predictor,
@@ -82,6 +82,22 @@ class TestGating:
                 gate_on="gate",
                 gate_threshold=0,
             )
+
+    def test_gate_error_lists_available_estimators(self):
+        prog = program(iterations=5)
+        predictor = GsharePredictor()
+        with pytest.raises(ValueError, match=r"\(dist, jrs\)"):
+            GatedPipelineSimulator(
+                prog,
+                predictor,
+                estimators={
+                    "jrs": jrs_factory(predictor),
+                    "dist": jrs_factory(predictor),
+                },
+                gate_on=None,
+            )
+        with pytest.raises(ValueError, match=r"<none attached>"):
+            GatedPipelineSimulator(prog, predictor, gate_on="gate")
 
     def test_count_low_confidence_inflight(self):
         prog = program(iterations=10)

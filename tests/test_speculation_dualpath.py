@@ -138,13 +138,15 @@ class TestValidation:
     def test_fork_on_must_name_estimator(self):
         prog = program(iterations=5)
         predictor = GsharePredictor()
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"\(fork\).*got 'nope'"):
             EagerPipelineSimulator(
                 prog,
                 predictor,
                 estimators={"fork": jrs_factory(predictor)},
                 fork_on="nope",
             )
+        with pytest.raises(ValueError, match=r"<none attached>"):
+            EagerPipelineSimulator(prog, predictor, fork_on="fork")
 
     def test_negative_switch_penalty_rejected(self):
         prog = program(iterations=5)
