@@ -6,6 +6,9 @@ Usage examples::
     repro run tab2                     # one experiment, full scale
     repro run --scale smoke --jobs 4   # whole battery, small + parallel
     repro run --journal run.jsonl      # + structured JSONL run journal
+    repro run --resume run.jsonl       # continue a killed/crashed run
+    repro run --jobs 4 --task-timeout 300 --retries 3   # supervised sweep
+    repro cache verify                 # detect corrupt cache entries
     repro run-all --out report.txt     # the whole battery
     repro speculate --scale smoke      # the speculation-control battery
     repro profile tab2 --scale smoke   # cProfile one experiment
@@ -30,6 +33,7 @@ from .harness import (
     SPECULATION_BATTERY,
     Scale,
     default_jobs,
+    plan_resume,
     render_report,
     run_all,
     run_experiment,
@@ -41,8 +45,20 @@ from .obs.profile import SORT_KEYS, hot_branches, profile_experiment
 from .workloads import SUITE, generate_source, get_profile
 
 
-def _scale_from_args(args: argparse.Namespace) -> Scale:
-    preset = SCALES[getattr(args, "scale", "full")]
+def _scale_from_args(
+    args: argparse.Namespace, fallback: Optional[Scale] = None
+) -> Scale:
+    preset_name = getattr(args, "scale", None)
+    if (
+        preset_name is None
+        and fallback is not None
+        and args.iterations is None
+        and args.pipeline_instructions is None
+        and args.workloads is None
+    ):
+        # --resume with no explicit sizing: reuse the prior run's scale
+        return fallback
+    preset = SCALES[preset_name or "full"]
     iterations = args.iterations if args.iterations is not None else preset.iterations
     pipeline_instructions = (
         args.pipeline_instructions
@@ -63,8 +79,9 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
         choices=sorted(SCALES),
-        default="full",
-        help="scale preset; explicit flags below override its values",
+        default=None,
+        help="scale preset (default: full, or the resumed run's scale"
+        " with --resume); explicit flags below override its values",
     )
     parser.add_argument(
         "--iterations",
@@ -104,6 +121,37 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help="write a structured JSONL run journal to PATH"
         " (see docs/observability.md for the event schema)",
     )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help="resume a prior run from its journal: finished experiments"
+        " are restored from checkpoints, only the rest execute"
+        " (see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock timeout; a hung worker is classified,"
+        " the pool recycled and the task retried"
+        " (default: $REPRO_TASK_TIMEOUT or off)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts for a failed experiment before serial"
+        " fallback (default: $REPRO_TASK_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="render the report without timestamps or the performance"
+        " section, so two equivalent runs diff byte-identical",
+    )
 
 
 def _open_journal(args: argparse.Namespace) -> Optional[RunJournal]:
@@ -133,19 +181,53 @@ def _command_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resume_plan(args: argparse.Namespace):
+    path = getattr(args, "resume", None)
+    return plan_resume(path) if path else None
+
+
+def _render(results, scale, journal, args: argparse.Namespace) -> str:
+    if getattr(args, "deterministic", False):
+        return render_report(
+            results,
+            scale,
+            clock=lambda: "(timestamp stripped)",
+            performance=False,
+            journal=journal,
+        )
+    return render_report(results, scale, journal=journal)
+
+
 def _command_run(args: argparse.Namespace) -> int:
     journal = _open_journal(args)
     try:
         jobs = _resolve_execution(args, journal)
-        scale = _scale_from_args(args)
+        plan = _resume_plan(args)
+        scale = _scale_from_args(args, fallback=plan.scale if plan else None)
         if args.experiment is None:
             # no experiment named: run the whole battery as a report
-            results = run_all(scale, jobs=jobs, journal=journal)
-            print(render_report(results, scale, journal=journal))
-            return 0
-        if jobs > 1 or journal is not None:
+            # (with --resume, the prior run's selection)
+            only = plan.selection if plan and plan.selection else None
             results = run_all(
-                scale, only=[args.experiment], jobs=jobs, journal=journal
+                scale,
+                only=only,
+                jobs=jobs,
+                journal=journal,
+                resume=args.resume,
+                task_timeout=args.task_timeout,
+                retries=args.retries,
+            )
+            print(_render(results, scale, journal, args))
+            return 0
+        if jobs > 1 or journal is not None or args.resume:
+            results = run_all(
+                scale,
+                only=[args.experiment],
+                jobs=jobs,
+                journal=journal,
+                resume=args.resume,
+                task_timeout=args.task_timeout,
+                retries=args.retries,
             )
             result = results[args.experiment]
         else:
@@ -157,14 +239,25 @@ def _command_run(args: argparse.Namespace) -> int:
             journal.close()
 
 
-def _command_run_all(args: argparse.Namespace) -> int:
+def _run_battery_command(
+    args: argparse.Namespace, only: Optional[List[str]]
+) -> int:
+    """Shared run-all/speculate body: battery -> rendered report."""
     journal = _open_journal(args)
     try:
         jobs = _resolve_execution(args, journal)
-        scale = _scale_from_args(args)
-        only = args.only.split(",") if args.only else None
-        results = run_all(scale, only=only, jobs=jobs, journal=journal)
-        report = render_report(results, scale, journal=journal)
+        plan = _resume_plan(args)
+        scale = _scale_from_args(args, fallback=plan.scale if plan else None)
+        results = run_all(
+            scale,
+            only=only,
+            jobs=jobs,
+            journal=journal,
+            resume=args.resume,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+        )
+        report = _render(results, scale, journal, args)
     finally:
         if journal is not None:
             journal.close()
@@ -175,28 +268,19 @@ def _command_run_all(args: argparse.Namespace) -> int:
     else:
         print(report)
     return 0
+
+
+def _command_run_all(args: argparse.Namespace) -> int:
+    plan = _resume_plan(args)
+    only = args.only.split(",") if args.only else None
+    if only is None and plan and plan.selection:
+        only = plan.selection
+    return _run_battery_command(args, only)
 
 
 def _command_speculate(args: argparse.Namespace) -> int:
     """Run the speculation-control battery and render its report."""
-    journal = _open_journal(args)
-    try:
-        jobs = _resolve_execution(args, journal)
-        scale = _scale_from_args(args)
-        results = run_all(
-            scale, only=list(SPECULATION_BATTERY), jobs=jobs, journal=journal
-        )
-        report = render_report(results, scale, journal=journal)
-    finally:
-        if journal is not None:
-            journal.close()
-    if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(report)
-        print(f"wrote {args.out}")
-    else:
-        print(report)
-    return 0
+    return _run_battery_command(args, list(SPECULATION_BATTERY))
 
 
 def _command_profile(args: argparse.Namespace) -> int:
@@ -234,11 +318,30 @@ def _command_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached artifacts from {cache.root}")
         return 0
+    if args.cache_command == "verify":
+        report = cache.verify()
+        print(f"cache directory: {cache.root}")
+        print(f"checked:         {report['checked']} entries")
+        print(f"ok:              {report['ok']}")
+        print(f"corrupt:         {len(report['corrupt'])}")
+        for key in report["corrupt"]:
+            print(f"  corrupt: {key}")
+        print(f"unreadable:      {len(report['unreadable'])}")
+        for key in report["unreadable"]:
+            print(f"  unreadable: {key}")
+        return 1 if report["corrupt"] or report["unreadable"] else 0
     info = cache.info()
+    stats = info["stats"]
     print(f"cache directory: {info['root']}")
     print(f"enabled:         {info['enabled']}")
     print(f"version salt:    {info['salt']}")
     print(f"entries:         {info['files']} files, {info['bytes']:,} bytes")
+    print(
+        "session stats:   "
+        f"{stats['hits']} hits, {stats['misses']} misses,"
+        f" {stats['writes']} writes, {stats['errors']} errors,"
+        f" {stats['corrupt']} corrupt"
+    )
     for kind, detail in info["kinds"].items():
         print(f"  {kind:14s} {detail['files']:4d} files  {detail['bytes']:,} bytes")
     return 0
@@ -350,8 +453,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_parser.add_argument(
         "cache_command",
-        choices=("info", "clear"),
-        help="info: show location/size/hit-rates; clear: delete all entries",
+        choices=("info", "clear", "verify"),
+        help="info: show location/size/hit-rates; clear: delete all"
+        " entries; verify: unpickle every entry and report corrupt ones"
+        " (exit 1 if any)",
     )
 
     profile_parser = subparsers.add_parser(

@@ -32,9 +32,12 @@ import json
 import os
 import pickle
 import tempfile
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
+
+from ..obs.registry import REGISTRY
 
 T = TypeVar("T")
 
@@ -50,21 +53,32 @@ _FALSE_VALUES = {"0", "off", "false", "no"}
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one cache instance."""
+    """Hit/miss accounting for one cache instance.
+
+    ``errors`` counts every I/O problem (failed writes, unreadable
+    entries); ``corrupt`` is the subset that was *corruption* -- an
+    entry that existed, was readable, but did not unpickle.  The two
+    are distinguished so ``repro cache info`` can tell a flaky disk
+    apart from damaged artifacts.
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
     errors: int = 0
+    corrupt: int = 0
 
     def merge(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
         self.writes += other.writes
         self.errors += other.errors
+        self.corrupt += other.corrupt
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.writes, self.errors)
+        return CacheStats(
+            self.hits, self.misses, self.writes, self.errors, self.corrupt
+        )
 
     def since(self, earlier: "CacheStats") -> "CacheStats":
         return CacheStats(
@@ -72,6 +86,7 @@ class CacheStats:
             misses=self.misses - earlier.misses,
             writes=self.writes - earlier.writes,
             errors=self.errors - earlier.errors,
+            corrupt=self.corrupt - earlier.corrupt,
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -80,7 +95,36 @@ class CacheStats:
             "misses": self.misses,
             "writes": self.writes,
             "errors": self.errors,
+            "corrupt": self.corrupt,
         }
+
+
+# ----------------------------------------------------------------------
+# warning sink
+# ----------------------------------------------------------------------
+
+#: ``(context, message)`` callback for cache degradations.  The runner
+#: points this at the active run journal so failed stores and corrupt
+#: entries become ``warning`` events; without a sink they go to stderr
+#: (silence was the bug -- see docs/robustness.md).
+WarningSink = Callable[[str, str], None]
+
+_WARNING_SINK: Optional[WarningSink] = None
+
+
+def set_warning_sink(sink: Optional[WarningSink]) -> Optional[WarningSink]:
+    """Install ``sink`` (or ``None`` to restore stderr); returns the old one."""
+    global _WARNING_SINK
+    previous = _WARNING_SINK
+    _WARNING_SINK = sink
+    return previous
+
+
+def _warn(context: str, message: str) -> None:
+    if _WARNING_SINK is not None:
+        _WARNING_SINK(context, message)
+    else:
+        print(f"repro: {message}", file=sys.stderr)
 
 
 def _json_representable(value: Any) -> bool:
@@ -155,7 +199,15 @@ class ArtifactCache:
     # ------------------------------------------------------------------
 
     def load(self, key: str) -> Tuple[bool, Any]:
-        """Return ``(hit, value)``; a corrupt entry counts as a miss."""
+        """Return ``(hit, value)``; a corrupt entry counts as a miss.
+
+        Corruption (the file exists and is readable but does not
+        unpickle) is distinguished from a transient read error (disk
+        I/O, permissions): a corrupt entry is unlinked so the recompute
+        can replace it, and announced as a ``corrupt_artifact`` warning
+        naming the key; a transient error leaves the file alone -- it
+        may be perfectly healthy next time.
+        """
         if not self.enabled:
             self.stats.misses += 1
             return False, None
@@ -166,10 +218,28 @@ class ArtifactCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return False, None
-        except Exception:
-            # truncated/corrupt/unreadable entry: drop it and recompute
+        except OSError as error:
+            # transient I/O failure: recompute, but keep the entry
             self.stats.misses += 1
             self.stats.errors += 1
+            REGISTRY.count("cache.read_errors")
+            _warn(
+                "cache_read",
+                f"artifact cache read failed for {key}"
+                f" ({type(error).__name__}: {error}); recomputing",
+            )
+            return False, None
+        except Exception as error:
+            # truncated/corrupt entry: drop it and recompute
+            self.stats.misses += 1
+            self.stats.errors += 1
+            self.stats.corrupt += 1
+            REGISTRY.count("cache.corrupt_entries")
+            _warn(
+                "corrupt_artifact",
+                f"corrupt artifact cache entry {key}"
+                f" ({type(error).__name__}); dropped, recomputing",
+            )
             try:
                 path.unlink()
             except OSError:
@@ -177,6 +247,11 @@ class ArtifactCache:
             return False, None
         self.stats.hits += 1
         return True, value
+
+    @staticmethod
+    def kind_of(key: str) -> str:
+        """The artifact kind a cache key was minted for."""
+        return key.rsplit("-", 1)[0]
 
     def store(self, key: str, value: Any) -> None:
         """Persist ``value`` atomically (safe under concurrent writers)."""
@@ -198,11 +273,23 @@ class ArtifactCache:
                         os.unlink(temp_name)
                     except OSError:
                         pass
-        except OSError:
-            # a read-only or full disk never breaks the computation
+        except OSError as error:
+            # a read-only or full disk never breaks the computation,
+            # but it is not swallowed silently either
             self.stats.errors += 1
+            REGISTRY.count("cache.store_errors")
+            _warn(
+                "cache_store",
+                f"artifact cache store failed for {key}"
+                f" ({type(error).__name__}: {error}); continuing uncached",
+            )
             return
         self.stats.writes += 1
+        # chaos hook: an armed corrupt fault garbles the entry we just
+        # wrote so the next load exercises the corruption path
+        from ..faults.injector import active_faults
+
+        active_faults().on_cache_store(self.kind_of(key), path)
 
     def cached(self, kind: str, compute: Callable[[], T], **parts: Any) -> T:
         """``compute()`` memoised under ``key(kind, **parts)``."""
@@ -246,6 +333,36 @@ class ArtifactCache:
                 for kind, (files, size) in sorted(breakdown.items())
             },
             "stats": self.stats.as_dict(),
+        }
+
+    def verify(self) -> Dict[str, Any]:
+        """Scan every entry on disk and classify it.
+
+        Returns ``{"checked": n, "ok": n, "corrupt": [keys...],
+        "unreadable": [keys...]}``.  Corrupt entries (present but not
+        unpicklable) are reported, not deleted -- ``load`` drops them
+        on the next use; a transient read error is listed separately.
+        """
+        checked = ok = 0
+        corrupt: list = []
+        unreadable: list = []
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("*.pkl")):
+                checked += 1
+                try:
+                    with open(path, "rb") as handle:
+                        pickle.load(handle)
+                except OSError:
+                    unreadable.append(path.stem)
+                except Exception:
+                    corrupt.append(path.stem)
+                else:
+                    ok += 1
+        return {
+            "checked": checked,
+            "ok": ok,
+            "corrupt": corrupt,
+            "unreadable": unreadable,
         }
 
     def clear(self) -> int:

@@ -12,8 +12,17 @@ from .experiments import (
     run_experiment,
     standard_estimators,
 )
-from .parallel import default_jobs, plan_warm_tasks, run_parallel
+from .checkpoint import load_checkpoint, store_checkpoint
+from .parallel import (
+    FAILURE_CLASSES,
+    classify_failure,
+    default_jobs,
+    plan_warm_tasks,
+    run_parallel,
+)
 from .runner import (
+    ResumePlan,
+    plan_resume,
     render_performance,
     render_report,
     render_speculation_control,
@@ -37,9 +46,15 @@ __all__ = [
     "clear_memoised",
     "run_experiment",
     "standard_estimators",
+    "FAILURE_CLASSES",
+    "classify_failure",
     "default_jobs",
+    "load_checkpoint",
+    "plan_resume",
     "plan_warm_tasks",
     "run_parallel",
+    "store_checkpoint",
+    "ResumePlan",
     "render_performance",
     "render_report",
     "render_speculation_control",

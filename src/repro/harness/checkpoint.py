@@ -1,0 +1,59 @@
+"""Experiment-result checkpoints: what ``repro run --resume`` replays.
+
+Every finished experiment is checkpointed into the artifact cache
+(kind ``checkpoint``) keyed by its id and the exact scale it ran at, by
+both the serial and the parallel paths, *as it finishes* -- so a
+battery killed halfway leaves one checkpoint per completed experiment.
+Resume mode (:func:`repro.harness.runner.run_all` with ``resume=``)
+reads the prior run's journal for ``experiment_finished`` events and
+loads the matching checkpoints instead of re-running; a checkpoint that
+is missing or corrupt simply demotes the experiment back to "run it
+again", so resume can never produce different output than a fresh run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..engine import cache as artifact_cache
+from ..obs.registry import REGISTRY
+from .experiments import ExperimentResult, Scale
+
+CHECKPOINT_KIND = "checkpoint"
+
+
+def checkpoint_key(cache: artifact_cache.ArtifactCache, experiment_id: str, scale: Scale) -> str:
+    return cache.key(
+        CHECKPOINT_KIND,
+        experiment=experiment_id,
+        iterations=scale.iterations,
+        pipeline_instructions=scale.pipeline_instructions,
+        workloads=list(scale.workloads),
+    )
+
+
+def store_checkpoint(
+    experiment_id: str, scale: Scale, result: ExperimentResult
+) -> None:
+    """Persist one finished experiment's result (no-op when cache off)."""
+    cache = artifact_cache.get_cache()
+    if not cache.enabled:
+        return
+    cache.store(checkpoint_key(cache, experiment_id, scale), result)
+    REGISTRY.count("supervisor.checkpoints_stored")
+
+
+def load_checkpoint(
+    experiment_id: str, scale: Scale
+) -> Tuple[bool, Optional[ExperimentResult]]:
+    """``(hit, result)`` for a previously checkpointed experiment."""
+    cache = artifact_cache.get_cache()
+    if not cache.enabled:
+        return False, None
+    hit, value = cache.load(checkpoint_key(cache, experiment_id, scale))
+    if hit and not isinstance(value, ExperimentResult):
+        # a poisoned entry must not masquerade as a result
+        return False, None
+    if hit:
+        REGISTRY.count("supervisor.checkpoints_loaded")
+    return hit, value

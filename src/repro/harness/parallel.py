@@ -1,4 +1,4 @@
-"""Parallel execution of the experiment battery.
+"""Resilient parallel execution of the experiment battery.
 
 The battery is embarrassingly parallel: each experiment replays
 independent workload traces through independent predictor/estimator
@@ -21,16 +21,33 @@ communicate through the content-addressed cache
 output is byte-identical to a serial run, and the merge order is the
 caller's selection order regardless of completion order.
 
-If the cache is disabled the warm-up waves are skipped (artifacts
-cannot cross process boundaries) and only wave 3 runs.
+Wave 3 runs under a **supervisor** that assumes workers can fail in
+every way a long sweep on real hardware fails:
 
-Failure handling is *per experiment*: a raising future costs only that
-experiment, which is re-run serially in the parent after the surviving
-parallel results are merged; an ``experiment_failed`` journal event
-carries the worker traceback.  Pool-level failures -- the executor
-refusing to start, a sandbox that forbids subprocesses -- degrade the
-whole remainder to serial execution, so the battery always completes
-if a serial run would.
+* every task has a wall-clock **timeout** (``REPRO_TASK_TIMEOUT`` /
+  ``--task-timeout``; off by default) measured from submission -- a
+  hung worker costs one timeout, not the whole battery;
+* each failure is **classified** into the taxonomy ``timeout`` /
+  ``crash`` / ``corrupt_artifact`` / ``retryable`` / ``fatal`` and
+  journaled (``experiment_failed`` with ``classification``) and
+  counted (``supervisor.failures.<class>``);
+* non-fatal failures get **bounded retries** (``REPRO_TASK_RETRIES``,
+  default 2) with deterministic, jitter-free exponential backoff
+  (``REPRO_RETRY_BACKOFF`` * 2^(round-1) seconds) -- two identical runs
+  retry on an identical schedule;
+* a timeout or a broken executor triggers **pool recycling**: the hung
+  workers are terminated, the pool is rebuilt, and the round's
+  survivors keep their results (``pool_recycled`` journal event);
+* when retries are exhausted -- or the pool cannot be (re)built at all
+  -- the remaining experiments **degrade to serial** execution in the
+  parent, so the battery always completes if a serial run would, with
+  byte-identical merged output.
+
+Every finished experiment is checkpointed through
+:mod:`repro.harness.checkpoint` as it completes, which is what
+``repro run --resume`` replays.  Fault injection for all of the above
+lives in :mod:`repro.faults` (``REPRO_FAULTS``); the legacy
+``REPRO_CRASH_EXPERIMENTS`` hook is subsumed by it but still honoured.
 
 Workers ship back per-task deltas of the artifact-cache statistics and
 the metrics registry (:mod:`repro.obs.registry`); the parent folds both
@@ -41,16 +58,21 @@ serial run.
 from __future__ import annotations
 
 import os
+import pickle
 import sys
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..engine import cache as artifact_cache
 from ..engine.cache import CacheStats
-from ..obs.journal import NullJournal, RunJournal, coalesce
+from ..faults import injector as faults
+from ..faults.injector import InjectedCrash
+from ..obs.journal import coalesce
 from ..obs.registry import REGISTRY, MetricsSnapshot
+from .checkpoint import store_checkpoint
 from .experiments import (
     EXPERIMENTS,
     PREDICTORS,
@@ -90,10 +112,72 @@ _TABLE2_PREDICTORS: Dict[str, Tuple[str, ...]] = {
 #: Experiments that need no simulation at all.
 _NO_TRACE = frozenset({"fig1"})
 
-#: Fault-injection hook for tests/CI: a comma-separated list of
-#: experiment ids whose *worker* run raises, exercising the
-#: per-experiment serial fallback without touching real code paths.
-CRASH_ENV = "REPRO_CRASH_EXPERIMENTS"
+#: Legacy fault-injection hook, now an alias into :mod:`repro.faults`:
+#: a comma-separated list of experiment ids whose workers crash.
+CRASH_ENV = faults.LEGACY_CRASH_ENV
+
+# ----------------------------------------------------------------------
+# supervisor knobs
+# ----------------------------------------------------------------------
+
+TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+RETRIES_ENV = "REPRO_TASK_RETRIES"
+BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+
+#: Additional attempts after the first failure of an experiment.
+DEFAULT_RETRIES = 2
+#: Base of the deterministic exponential backoff (seconds).
+DEFAULT_BACKOFF_S = 0.25
+
+#: The failure taxonomy.  Everything except ``fatal`` is retryable.
+FAILURE_CLASSES = ("timeout", "crash", "corrupt_artifact", "retryable", "fatal")
+
+_FATAL_TYPES = (MemoryError, KeyboardInterrupt, SystemExit)
+_CORRUPT_TYPES = (pickle.UnpicklingError, EOFError)
+
+
+def classify_failure(error: BaseException) -> str:
+    """Place one raised worker/scheduler error in the failure taxonomy."""
+    if isinstance(error, FutureTimeoutError):
+        return "timeout"
+    if isinstance(error, _FATAL_TYPES):
+        return "fatal"
+    if isinstance(error, (BrokenExecutor, InjectedCrash)):
+        return "crash"
+    if isinstance(error, _CORRUPT_TYPES):
+        return "corrupt_artifact"
+    return "retryable"
+
+
+def _env_float(name: str, default: Optional[float]) -> Optional[float]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        print(
+            f"repro: ignoring unparseable {name}={raw!r}", file=sys.stderr
+        )
+        return default
+    return value
+
+
+def task_timeout_from_env() -> Optional[float]:
+    """``REPRO_TASK_TIMEOUT`` in seconds; unset, empty or <= 0 disables."""
+    value = _env_float(TIMEOUT_ENV, None)
+    return value if value is not None and value > 0 else None
+
+
+def retries_from_env() -> int:
+    value = _env_float(RETRIES_ENV, float(DEFAULT_RETRIES))
+    return max(0, int(value))
+
+
+def backoff_from_env() -> float:
+    value = _env_float(BACKOFF_ENV, DEFAULT_BACKOFF_S)
+    return max(0.0, value)
+
 
 WarmTask = Tuple[str, Tuple]
 
@@ -177,6 +261,9 @@ def plan_warm_tasks(
 
 def _init_worker(cache_root: str, cache_enabled: bool) -> None:
     artifact_cache.configure(root=cache_root, enabled=cache_enabled)
+    # re-read REPRO_FAULTS/REPRO_FAULTS_STATE in this process so forked
+    # workers do not reuse the parent's in-memory occurrence counters
+    faults.reset_active_faults()
 
 
 def _task_baseline() -> Tuple[CacheStats, MetricsSnapshot]:
@@ -222,19 +309,10 @@ def _warm_worker(task: WarmTask) -> Tuple[CacheStats, MetricsSnapshot, float]:
     return stats, metrics, duration
 
 
-def _maybe_injected_crash(experiment_id: str) -> None:
-    crashing = os.environ.get(CRASH_ENV, "")
-    if experiment_id in {part.strip() for part in crashing.split(",") if part.strip()}:
-        raise RuntimeError(
-            f"injected worker crash for experiment {experiment_id!r}"
-            f" (${CRASH_ENV})"
-        )
-
-
 def _experiment_worker(
     experiment_id: str, scale: Scale
 ) -> Tuple[ExperimentResult, float, CacheStats, MetricsSnapshot]:
-    _maybe_injected_crash(experiment_id)
+    faults.active_faults().on_experiment(experiment_id)
     baseline = _task_baseline()
     started = time.perf_counter()
     result = run_experiment(experiment_id, scale)
@@ -244,7 +322,7 @@ def _experiment_worker(
 
 
 # ----------------------------------------------------------------------
-# parent-side scheduler
+# parent-side supervisor
 # ----------------------------------------------------------------------
 
 
@@ -288,6 +366,7 @@ def _run_serially(
             result = EXPERIMENTS[experiment_id](scale)
         result.duration_s = time.perf_counter() - started
         results[experiment_id] = result
+        store_checkpoint(experiment_id, scale, result)
         journal.emit(
             "experiment_finished",
             experiment=experiment_id,
@@ -306,40 +385,305 @@ def _format_error(error: BaseException) -> Tuple[str, str]:
     return summary, trace
 
 
-def _run_warm_waves(pool, waves, journal: RunJournal) -> None:
-    """Run the warm-up waves, journaling each task.
+class _Supervisor:
+    """Round-based retrying scheduler for wave 3 (the experiments).
 
-    A failing warm task is non-fatal: the artifact simply is not
-    pre-cached and the owning experiment computes (or fails and
-    falls back) on its own.
+    One *round* submits every still-pending experiment to the pool and
+    harvests the futures in selection order, each against its own
+    deadline.  Failures are classified, journaled and -- when the
+    class is retryable and the budget allows -- carried into the next
+    round after a deterministic backoff sleep.  A hung or broken pool
+    is recycled between rounds; a pool that cannot be built at all
+    flips the supervisor into serial degradation.
     """
-    for wave in waves:
-        if not wave:
-            continue
-        futures = [(task, pool.submit(_warm_worker, task)) for task in wave]
-        for task, future in futures:
-            kind, args = task
+
+    def __init__(
+        self,
+        selected: Sequence[str],
+        scale: Scale,
+        jobs: int,
+        journal,
+        task_timeout: Optional[float],
+        retries: int,
+        backoff_s: float,
+    ):
+        self.selected = list(selected)
+        self.scale = scale
+        self.jobs = jobs
+        self.journal = journal
+        self.task_timeout = task_timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.results: Dict[str, ExperimentResult] = {}
+        self.attempts: Dict[str, int] = {eid: 0 for eid in self.selected}
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.warm_done = False
+        self.pool_unavailable = False
+
+    # -- pool lifecycle -------------------------------------------------
+
+    def _ensure_pool(self) -> bool:
+        if self.pool is not None:
+            return True
+        cache = artifact_cache.get_cache()
+        try:
+            self.pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(str(cache.root), cache.enabled),
+            )
+        except Exception as error:  # noqa: BLE001 - degrade, never die
+            self._pool_failed(error)
+            return False
+        if not self.warm_done:
+            self.warm_done = True
+            self._run_warm_waves()
+        return self.pool is not None
+
+    def _pool_failed(self, error: BaseException) -> None:
+        message = (
+            f"repro: parallel execution unavailable"
+            f" ({type(error).__name__}: {error}); falling back to serial"
+        )
+        print(message, file=sys.stderr)
+        self.journal.emit("warning", message=message, context="pool")
+        REGISTRY.count("supervisor.pool_failures")
+        self.pool_unavailable = True
+        self._recycle_pool(reason="pool_failure", journal_event=False)
+
+    def _recycle_pool(self, reason: str, journal_event: bool = True) -> None:
+        pool, self.pool = self.pool, None
+        if pool is None:
+            return
+        if journal_event:
+            self.journal.emit("pool_recycled", reason=reason)
+            REGISTRY.count("supervisor.pool_recycles")
+        # grab worker handles BEFORE shutdown (which nulls _processes),
+        # then SIGKILL them: a worker stuck in an uninterruptible state
+        # would otherwise keep the executor's manager thread -- and the
+        # whole interpreter, via its atexit join -- alive forever.
+        # _processes is private but there is no public kill switch.
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - best effort
+            pass
+        for process in processes:
             try:
-                stats, metrics, duration = future.result()
-            except Exception as error:  # noqa: BLE001 - worker died
-                summary, __ = _format_error(error)
-                journal.emit(
+                process.kill()
+            except Exception:  # noqa: BLE001 - already dead
+                pass
+
+    # -- warm waves -----------------------------------------------------
+
+    def _run_warm_waves(self) -> None:
+        """Run the warm-up waves, journaling each task.
+
+        A failing warm task is non-fatal: the artifact simply is not
+        pre-cached and the owning experiment computes (or fails and
+        falls back) on its own.  A *hung* warm task additionally
+        recycles the pool and abandons the rest of the warm-up.
+        """
+        cache = artifact_cache.get_cache()
+        trace_tasks, heavy_tasks = plan_warm_tasks(self.selected, self.scale)
+        if not cache.enabled:
+            return
+        for wave in (trace_tasks, heavy_tasks):
+            if not wave or self.pool is None:
+                continue
+            try:
+                futures = [
+                    (task, self.pool.submit(_warm_worker, task), time.monotonic())
+                    for task in wave
+                ]
+            except Exception as error:  # noqa: BLE001 - pool refused work
+                self._pool_failed(error)
+                return
+            for task, future, submitted in futures:
+                kind, args = task
+                try:
+                    stats, metrics, duration = future.result(
+                        timeout=self._remaining(submitted)
+                    )
+                except FutureTimeoutError:
+                    self.journal.emit(
+                        "warm_task",
+                        kind=kind,
+                        args=list(args),
+                        ok=False,
+                        error=f"timeout after {self.task_timeout}s",
+                    )
+                    REGISTRY.count("supervisor.timeouts")
+                    self._recycle_pool(reason="hung_warm_task")
+                    return
+                except Exception as error:  # noqa: BLE001 - worker died
+                    summary, __ = _format_error(error)
+                    self.journal.emit(
+                        "warm_task",
+                        kind=kind,
+                        args=list(args),
+                        ok=False,
+                        error=summary,
+                    )
+                    if isinstance(error, BrokenExecutor):
+                        self._recycle_pool(reason="broken_pool_warmup")
+                        return
+                    continue
+                _merge_worker_state(stats, metrics)
+                REGISTRY.count("warm.tasks")
+                self.journal.emit(
                     "warm_task",
                     kind=kind,
                     args=list(args),
-                    ok=False,
-                    error=summary,
+                    ok=True,
+                    duration_s=duration,
                 )
+
+    # -- experiment rounds ----------------------------------------------
+
+    def _remaining(self, submitted: float) -> Optional[float]:
+        if self.task_timeout is None:
+            return None
+        return max(0.0, submitted + self.task_timeout - time.monotonic())
+
+    def _record_failure(
+        self, experiment_id: str, error: BaseException, classification: str
+    ) -> None:
+        if isinstance(error, FutureTimeoutError):
+            summary = (
+                f"TimeoutError: worker exceeded the {self.task_timeout}s"
+                " task timeout"
+            )
+            trace = ""
+        else:
+            summary, trace = _format_error(error)
+        print(
+            f"repro: experiment {experiment_id} failed"
+            f" [{classification}] ({summary})",
+            file=sys.stderr,
+        )
+        self.journal.emit(
+            "experiment_failed",
+            experiment=experiment_id,
+            error=summary,
+            traceback=trace,
+            classification=classification,
+            attempt=self.attempts[experiment_id],
+        )
+        REGISTRY.count("experiments.failed_parallel")
+        REGISTRY.count(f"supervisor.failures.{classification}")
+        if classification == "timeout":
+            REGISTRY.count("supervisor.timeouts")
+
+    def _attempt_round(self, pending: List[str]) -> List[str]:
+        """Submit one attempt for every pending experiment.
+
+        Returns the experiments to retry next round.  Experiments whose
+        retry budget is exhausted (or whose failure was fatal) stay
+        unresolved and are handled by the serial degradation tail.
+        """
+        if not self._ensure_pool():
+            return pending
+        futures: List[Tuple[str, object, float]] = []
+        try:
+            for experiment_id in pending:
+                self.attempts[experiment_id] += 1
+                futures.append(
+                    (
+                        experiment_id,
+                        self.pool.submit(
+                            _experiment_worker, experiment_id, self.scale
+                        ),
+                        time.monotonic(),
+                    )
+                )
+                self.journal.emit(
+                    "experiment_started",
+                    experiment=experiment_id,
+                    mode="parallel",
+                    attempt=self.attempts[experiment_id],
+                )
+        except Exception as error:  # noqa: BLE001 - pool refused work
+            self._pool_failed(error)
+            return [eid for eid in pending if eid not in self.results]
+
+        need_recycle: Optional[str] = None
+        failed: List[Tuple[str, str]] = []
+        for experiment_id, future, submitted in futures:
+            try:
+                result, duration, stats, metrics = future.result(
+                    timeout=self._remaining(submitted)
+                )
+            except BaseException as error:  # noqa: BLE001 - classified below
+                classification = classify_failure(error)
+                if classification == "timeout":
+                    future.cancel()
+                    need_recycle = "hung_worker"
+                elif isinstance(error, BrokenExecutor):
+                    need_recycle = need_recycle or "broken_pool"
+                self._record_failure(experiment_id, error, classification)
+                failed.append((experiment_id, classification))
+                if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                    raise
                 continue
+            result.duration_s = duration
             _merge_worker_state(stats, metrics)
-            REGISTRY.count("warm.tasks")
-            journal.emit(
-                "warm_task",
-                kind=kind,
-                args=list(args),
-                ok=True,
+            REGISTRY.observe_seconds(f"experiment.{experiment_id}", duration)
+            self.results[experiment_id] = result
+            store_checkpoint(experiment_id, self.scale, result)
+            self.journal.emit(
+                "experiment_finished",
+                experiment=experiment_id,
+                mode="parallel",
                 duration_s=duration,
             )
+        if need_recycle:
+            self._recycle_pool(reason=need_recycle)
+
+        retry: List[str] = []
+        for experiment_id, classification in failed:
+            if (
+                classification != "fatal"
+                and self.attempts[experiment_id] <= self.retries
+            ):
+                delay = self.backoff_s * (2 ** (self.attempts[experiment_id] - 1))
+                self.journal.emit(
+                    "experiment_retry",
+                    experiment=experiment_id,
+                    attempt=self.attempts[experiment_id] + 1,
+                    classification=classification,
+                    delay_s=delay,
+                )
+                REGISTRY.count("supervisor.retries")
+                retry.append(experiment_id)
+        return retry
+
+    def run(self) -> Dict[str, ExperimentResult]:
+        faults.ensure_state_dir()
+        pending = list(self.selected)
+        round_number = 0
+        while pending and not self.pool_unavailable:
+            if round_number > 0:
+                # deterministic, jitter-free backoff: identical runs
+                # retry on an identical schedule
+                time.sleep(self.backoff_s * (2 ** (round_number - 1)))
+            pending = self._attempt_round(pending)
+            round_number += 1
+        # a healthy pool shuts down gracefully; hung pools were already
+        # recycled inside the round that saw them hang
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+        unresolved = [eid for eid in self.selected if eid not in self.results]
+        if unresolved:
+            # graceful degradation: exhausted/fatal/unschedulable
+            # experiments run serially in the parent, in selection
+            # order, so the battery completes iff a serial run would
+            self.results.update(
+                _run_serially(unresolved, self.scale, self.journal)
+            )
+        return {eid: self.results[eid] for eid in self.selected}
 
 
 def run_parallel(
@@ -347,87 +691,33 @@ def run_parallel(
     scale: Scale,
     jobs: int,
     journal: Journal = None,
+    task_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff_s: Optional[float] = None,
 ) -> Dict[str, ExperimentResult]:
-    """Run ``selected`` experiments with ``jobs`` worker processes.
+    """Run ``selected`` experiments with ``jobs`` supervised workers.
 
     Results are merged in the order of ``selected`` and carry
-    ``duration_s`` stamps.  A single failing experiment is re-run
-    serially on its own (the surviving parallel results are kept); a
-    pool-level failure degrades every not-yet-merged experiment to
-    serial execution.
+    ``duration_s`` stamps.  ``task_timeout``/``retries``/``backoff_s``
+    default from ``REPRO_TASK_TIMEOUT``/``REPRO_TASK_RETRIES``/
+    ``REPRO_RETRY_BACKOFF``.  See the module docstring for the failure
+    model; the short version is that a failing, hanging or crashing
+    worker costs bounded retries of its own experiment, and the battery
+    completes whenever a serial run would.
     """
     journal = coalesce(journal)
     jobs = max(1, jobs)
     if jobs == 1 or len(selected) == 0:
         return _run_serially(selected, scale, journal)
-
-    cache = artifact_cache.get_cache()
-    trace_tasks, heavy_tasks = plan_warm_tasks(selected, scale)
-    if not cache.enabled:
-        trace_tasks, heavy_tasks = [], []
-
-    results: Dict[str, ExperimentResult] = {}
-    failed: List[str] = []
-    try:
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_worker,
-            initargs=(str(cache.root), cache.enabled),
-        ) as pool:
-            _run_warm_waves(pool, (trace_tasks, heavy_tasks), journal)
-            futures = {}
-            for experiment_id in selected:
-                futures[experiment_id] = pool.submit(
-                    _experiment_worker, experiment_id, scale
-                )
-                journal.emit(
-                    "experiment_started", experiment=experiment_id, mode="parallel"
-                )
-            for experiment_id, future in futures.items():
-                try:
-                    result, duration, stats, metrics = future.result()
-                except Exception as error:  # noqa: BLE001 - per-future fallback
-                    summary, trace = _format_error(error)
-                    print(
-                        f"repro: experiment {experiment_id} failed in a worker"
-                        f" ({summary}); will re-run it serially",
-                        file=sys.stderr,
-                    )
-                    journal.emit(
-                        "experiment_failed",
-                        experiment=experiment_id,
-                        error=summary,
-                        traceback=trace,
-                    )
-                    REGISTRY.count("experiments.failed_parallel")
-                    failed.append(experiment_id)
-                    continue
-                result.duration_s = duration
-                _merge_worker_state(stats, metrics)
-                REGISTRY.observe_seconds(f"experiment.{experiment_id}", duration)
-                results[experiment_id] = result
-                journal.emit(
-                    "experiment_finished",
-                    experiment=experiment_id,
-                    mode="parallel",
-                    duration_s=duration,
-                )
-    except Exception as error:  # noqa: BLE001 - pool-level degradation
-        message = (
-            f"repro: parallel execution failed ({type(error).__name__}: {error});"
-            " falling back to serial"
-        )
-        print(message, file=sys.stderr)
-        journal.emit("warning", message=message, context="pool")
-        failed = [eid for eid in selected if eid not in results]
-
-    if failed:
-        # only the genuinely failed experiments re-run, serially, in
-        # selection order; everything else keeps its parallel result
-        results.update(
-            _run_serially(
-                [eid for eid in selected if eid in set(failed)], scale, journal
-            )
-        )
-
-    return {experiment_id: results[experiment_id] for experiment_id in selected}
+    supervisor = _Supervisor(
+        selected,
+        scale,
+        jobs,
+        journal,
+        task_timeout=(
+            task_timeout if task_timeout is not None else task_timeout_from_env()
+        ),
+        retries=retries if retries is not None else retries_from_env(),
+        backoff_s=backoff_s if backoff_s is not None else backoff_from_env(),
+    )
+    return supervisor.run()

@@ -21,15 +21,72 @@ disagree.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from ..engine import SIMULATION_COUNTERS, get_cache
-from ..obs.journal import NullJournal, coalesce
+from ..engine import cache as artifact_cache
+from ..obs.journal import (
+    NullJournal,
+    coalesce,
+    finished_experiments,
+    read_journal_tolerant,
+)
 from ..obs.registry import REGISTRY
+from .checkpoint import load_checkpoint
 from .experiments import EXPERIMENTS, FULL, ExperimentResult, Scale
 from .tables import TextTable
 
 Journal = Optional[object]  # RunJournal | NullJournal
+
+
+@dataclass
+class ResumePlan:
+    """What a prior run's journal says about continuing it.
+
+    ``selection``/``scale`` come from the ``run_started`` event (either
+    may be ``None`` for a journal killed before that line survived);
+    ``finished`` is the checkpoint ledger; ``problems`` are the
+    truncated/invalid lines the tolerant reader skipped.
+    """
+
+    journal_path: Path
+    selection: Optional[List[str]]
+    scale: Optional[Scale]
+    finished: List[str]
+    problems: List[str]
+
+
+def plan_resume(path: Union[str, Path]) -> ResumePlan:
+    """Read a (possibly truncated) journal into a :class:`ResumePlan`."""
+    events, problems = read_journal_tolerant(path)
+    started = next(
+        (event for event in events if event.get("event") == "run_started"), None
+    )
+    selection: Optional[List[str]] = None
+    scale: Optional[Scale] = None
+    if started is not None:
+        raw_selection = started.get("selection")
+        if isinstance(raw_selection, list):
+            selection = [str(eid) for eid in raw_selection]
+        raw_scale = started.get("scale")
+        if isinstance(raw_scale, dict):
+            try:
+                scale = Scale(
+                    iterations=raw_scale.get("iterations"),
+                    pipeline_instructions=raw_scale["pipeline_instructions"],
+                    workloads=tuple(raw_scale["workloads"]),
+                )
+            except (KeyError, TypeError):
+                scale = None
+    return ResumePlan(
+        journal_path=Path(path),
+        selection=selection,
+        scale=scale,
+        finished=finished_experiments(events),
+        problems=problems,
+    )
 
 
 def run_all(
@@ -37,15 +94,30 @@ def run_all(
     only: Optional[Iterable[str]] = None,
     jobs: int = 1,
     journal: Journal = None,
+    resume: Optional[Union[str, Path]] = None,
+    task_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff_s: Optional[float] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run every (or the selected) experiment; returns id -> result.
 
-    ``jobs > 1`` fans the battery out over a process pool (see
-    :mod:`repro.harness.parallel`); results are merged in selection
-    order and are identical to a serial run.  Each result carries a
-    ``duration_s`` wall-time stamp.  ``journal`` (a
+    ``jobs > 1`` fans the battery out over a supervised process pool
+    (see :mod:`repro.harness.parallel`); results are merged in
+    selection order and are identical to a serial run.  Each result
+    carries a ``duration_s`` wall-time stamp.  ``journal`` (a
     :class:`repro.obs.journal.RunJournal`) receives the structured
     event stream for the run.
+
+    ``resume`` names a prior run's journal: experiments it records as
+    finished are restored from their checkpoints in the artifact cache
+    (``experiment_skipped`` events) and only the remainder executes.  A
+    finished experiment whose checkpoint is missing or stale (different
+    scale, bumped code salt) silently re-runs, so a resumed battery can
+    never produce different output than a fresh one.
+
+    ``task_timeout``/``retries``/``backoff_s`` tune the supervisor
+    (default from ``REPRO_TASK_TIMEOUT``/``REPRO_TASK_RETRIES``/
+    ``REPRO_RETRY_BACKOFF``).
     """
     journal = coalesce(journal)
     selected = list(only) if only is not None else list(EXPERIMENTS)
@@ -53,6 +125,16 @@ def run_all(
     if unknown:
         raise KeyError(f"unknown experiment ids: {', '.join(unknown)}")
     from .parallel import run_parallel
+
+    restored: Dict[str, ExperimentResult] = {}
+    if resume is not None:
+        plan = plan_resume(resume)
+        for experiment_id in selected:
+            if experiment_id not in plan.finished:
+                continue
+            hit, result = load_checkpoint(experiment_id, scale)
+            if hit and result is not None:
+                restored[experiment_id] = result
 
     journal.emit(
         "run_started",
@@ -65,11 +147,52 @@ def run_all(
             "workloads": list(scale.workloads),
         },
     )
+    if resume is not None:
+        journal.emit(
+            "run_resumed",
+            journal=str(resume),
+            skipped=[eid for eid in selected if eid in restored],
+        )
+        for experiment_id in selected:
+            if experiment_id in restored:
+                journal.emit(
+                    "experiment_skipped",
+                    experiment=experiment_id,
+                    source="checkpoint",
+                )
+                REGISTRY.count("supervisor.experiments_resumed")
+
+    # cache degradations (failed stores, corrupt entries) become
+    # journal warnings for the duration of the run
+    sink_installed = not isinstance(journal, NullJournal)
+    if sink_installed:
+        previous_sink = artifact_cache.set_warning_sink(
+            lambda context, message: journal.emit(
+                "warning", message=message, context=context
+            )
+        )
     cache_baseline = get_cache().stats.snapshot()
     metrics_baseline = REGISTRY.snapshot()
     started = time.perf_counter()
-    results = run_parallel(selected, scale, jobs, journal=journal)
+    try:
+        remaining = [eid for eid in selected if eid not in restored]
+        fresh = run_parallel(
+            remaining,
+            scale,
+            jobs,
+            journal=journal,
+            task_timeout=task_timeout,
+            retries=retries,
+            backoff_s=backoff_s,
+        )
+    finally:
+        if sink_installed:
+            artifact_cache.set_warning_sink(previous_sink)
     duration = time.perf_counter() - started
+    results = {
+        experiment_id: restored.get(experiment_id, fresh.get(experiment_id))
+        for experiment_id in selected
+    }
     for experiment_id, result in results.items():
         rows = result.data.get("journal_rows")
         if rows:
@@ -119,9 +242,23 @@ def render_performance(
     failed = int(REGISTRY.counter_value("experiments.failed_parallel"))
     if failed:
         table.add_note(
-            f"{failed} experiment(s) failed in parallel workers and were"
+            f"{failed} failed experiment attempt(s) were retried or"
             " re-run serially"
         )
+    retries = int(REGISTRY.counter_value("supervisor.retries"))
+    if retries:
+        table.add_note(f"supervisor scheduled {retries} retry attempt(s)")
+    recycles = int(REGISTRY.counter_value("supervisor.pool_recycles"))
+    if recycles:
+        table.add_note(f"worker pool recycled {recycles} time(s)")
+    resumed = int(REGISTRY.counter_value("supervisor.experiments_resumed"))
+    if resumed:
+        table.add_note(
+            f"{resumed} experiment(s) restored from checkpoints (--resume)"
+        )
+    injected = int(REGISTRY.counter_value("faults.injected"))
+    if injected:
+        table.add_note(f"{injected} fault(s) injected (REPRO_FAULTS)")
     if journal is not None and not isinstance(journal, NullJournal):
         census = ", ".join(
             f"{name}={journal.event_counts[name]}"

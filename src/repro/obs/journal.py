@@ -11,10 +11,20 @@ Event vocabulary (see ``docs/observability.md`` for the field tables):
 * ``warm_task`` -- one artifact warm-up task (parallel path only);
 * ``experiment_started`` / ``experiment_finished`` -- per experiment,
   with ``mode`` saying whether it ran ``"serial"`` or ``"parallel"``;
-* ``experiment_failed`` -- a worker crash, with the full traceback;
-  the scheduler re-runs just that experiment serially afterwards;
+* ``experiment_failed`` -- a failed attempt, with the traceback and a
+  ``classification`` from the failure taxonomy (``timeout`` / ``crash``
+  / ``corrupt_artifact`` / ``retryable`` / ``fatal``);
+* ``experiment_retry`` -- the supervisor rescheduling a failed
+  experiment: attempt number, classification, backoff delay;
+* ``experiment_skipped`` -- resume mode found the experiment already
+  finished in the prior journal (its checkpointed result was reused);
+* ``pool_recycled`` -- the worker pool was torn down and rebuilt
+  (hung worker, broken pool);
+* ``run_resumed`` -- this run continues a prior journal; lists the
+  experiments it skipped;
 * ``warning`` -- non-fatal configuration or scheduling problems (bad
-  ``REPRO_JOBS``, pool-level fallback);
+  ``REPRO_JOBS``, pool-level fallback, cache store/read errors,
+  corrupt artifacts);
 * ``speculation_summary`` -- per speculation-control experiment, the
   per-workload result rows (wrong-path savings, IPC delta, ...) the
   report's "Speculation control" section is built from;
@@ -63,6 +73,15 @@ EVENT_TYPES: Dict[str, Dict[str, Union[type, Tuple[type, ...]]]] = {
         "duration_s": _NUMBER,
     },
     "experiment_failed": {"experiment": str, "error": str, "traceback": str},
+    "experiment_retry": {
+        "experiment": str,
+        "attempt": int,
+        "classification": str,
+        "delay_s": _NUMBER,
+    },
+    "experiment_skipped": {"experiment": str, "source": str},
+    "pool_recycled": {"reason": str},
+    "run_resumed": {"journal": str, "skipped": list},
     "warning": {"message": str},
     "speculation_summary": {"experiment": str, "rows": list},
     "cache_stats": {
@@ -170,6 +189,54 @@ def read_journal(path: Union[str, Path]) -> List[Dict[str, Any]]:
                 )
             events.append(obj)
     return events
+
+
+def read_journal_tolerant(
+    path: Union[str, Path],
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Decode as much of a journal as possible; never raises on content.
+
+    A battery killed mid-write (SIGKILL, OOM, power loss) leaves a
+    valid JSONL prefix and possibly one truncated final line.  Resume
+    mode must read such journals, so this reader keeps every line that
+    decodes and validates, and reports the rest as ``(events,
+    problems)`` instead of raising.
+    """
+    events: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                problems.append(f"line {line_number}: truncated or invalid JSON")
+                continue
+            errors = validate_event(obj)
+            if errors:
+                problems.append(f"line {line_number}: {'; '.join(errors)}")
+                continue
+            events.append(obj)
+    return events, problems
+
+
+def finished_experiments(events: Iterable[Dict[str, Any]]) -> List[str]:
+    """Experiment ids with an ``experiment_finished`` event, in order.
+
+    This is the checkpoint ledger resume mode replays: an experiment
+    that *finished* (in any mode, including a prior resumed run) needs
+    no re-execution if its checkpointed result is still in the artifact
+    cache.
+    """
+    finished: List[str] = []
+    for event in events:
+        if event.get("event") in ("experiment_finished", "experiment_skipped"):
+            experiment = event.get("experiment")
+            if isinstance(experiment, str) and experiment not in finished:
+                finished.append(experiment)
+    return finished
 
 
 class RunJournal:

@@ -159,3 +159,99 @@ class TestNewCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "4096 MDCs" in out
+
+
+class TestSupervisorFlags:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "run-all",
+                "--resume",
+                "prior.jsonl",
+                "--task-timeout",
+                "120",
+                "--retries",
+                "3",
+                "--deterministic",
+            ]
+        )
+        assert args.resume == "prior.jsonl"
+        assert args.task_timeout == 120.0
+        assert args.retries == 3
+        assert args.deterministic is True
+
+    def test_deterministic_report_is_reproducible(self, tmp_path, capsys):
+        argv = [
+            "run-all",
+            "--only",
+            "fig1",
+            "--scale",
+            "smoke",
+            "--deterministic",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "(timestamp stripped)" in first
+        assert "Battery performance" not in first
+
+    def test_resume_via_cli_skips_finished_and_reuses_scale(
+        self, tmp_path, capsys
+    ):
+        journal = str(tmp_path / "first.jsonl")
+        assert (
+            main(
+                [
+                    "run-all",
+                    "--only",
+                    "fig1,tab3",
+                    "--scale",
+                    "smoke",
+                    "--journal",
+                    journal,
+                    "--deterministic",
+                ]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        # no --only, no --scale: both come from the resumed journal
+        assert main(["run-all", "--resume", journal, "--deterministic"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+        from repro.obs.journal import read_journal
+
+        events = read_journal(journal)
+        assert [
+            e["experiment"]
+            for e in events
+            if e["event"] == "experiment_finished"
+        ] == ["fig1", "tab3"]
+
+
+class TestCacheVerifyCommand:
+    def test_verify_clean_cache_exits_zero(self, capsys):
+        assert main(["cache", "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "checked:" in out and "corrupt:" in out
+
+    def test_verify_flags_corrupt_entry(self, capsys):
+        from repro.engine.cache import get_cache
+
+        cache = get_cache()
+        key = cache.key("clitest", x=1)
+        cache.store(key, [1, 2, 3])
+        cache.path_for(key).write_bytes(b"garbage")
+        try:
+            assert main(["cache", "verify"]) == 1
+            out = capsys.readouterr().out
+            assert f"corrupt: {key}" in out
+        finally:
+            cache.path_for(key).unlink()
+
+    def test_info_reports_corrupt_stat(self, capsys):
+        assert main(["cache", "info"]) == 0
+        assert "corrupt" in capsys.readouterr().out

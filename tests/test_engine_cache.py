@@ -11,7 +11,17 @@ from repro.engine.cache import (
     configure,
     default_cache_dir,
     get_cache,
+    set_warning_sink,
 )
+
+
+@pytest.fixture()
+def warnings_sink():
+    """Capture ``(context, message)`` cache degradation warnings."""
+    captured = []
+    previous = set_warning_sink(lambda context, message: captured.append((context, message)))
+    yield captured
+    set_warning_sink(previous)
 
 
 @pytest.fixture()
@@ -142,6 +152,7 @@ class TestCorruption:
         value = cache.cached("thing", lambda: [4, 5, 6], x=1)
         assert value == [4, 5, 6]
         assert cache.stats.errors == 1
+        assert cache.stats.corrupt == 1
         # the corrupt file was replaced by the recomputed artifact
         hit, reloaded = cache.load(key)
         assert hit and reloaded == [4, 5, 6]
@@ -159,6 +170,91 @@ class TestCorruption:
         (tmp_path / "file-not-dir").write_text("i am a file")
         cache.store(cache.key("k", x=1), 1)  # swallowed, counted
         assert cache.stats.errors == 1
+
+    def test_corrupt_entry_warns_with_key_and_unlinks(self, cache, warnings_sink):
+        key = cache.key("thing", x=1)
+        cache.store(key, [1, 2, 3])
+        cache.path_for(key).write_bytes(b"garbage")
+        hit, __ = cache.load(key)
+        assert not hit
+        assert [(c, key in m) for c, m in warnings_sink] == [
+            ("corrupt_artifact", True)
+        ]
+        # corrupt entries are dropped so the recompute can replace them
+        assert not cache.path_for(key).exists()
+
+    def test_transient_read_error_keeps_entry_and_warns(
+        self, cache, warnings_sink, monkeypatch
+    ):
+        """A flaky disk is not corruption: the entry survives and the
+        corrupt counter stays untouched."""
+        key = cache.key("thing", x=1)
+        cache.store(key, [1, 2, 3])
+        path = cache.path_for(key)
+
+        import builtins
+
+        real_open = builtins.open
+
+        def failing_open(file, *args, **kwargs):
+            if str(file) == str(path) and "r" in args[0]:
+                raise PermissionError("flaky disk")
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", failing_open)
+        hit, __ = cache.load(key)
+        monkeypatch.undo()
+
+        assert not hit
+        assert cache.stats.errors == 1
+        assert cache.stats.corrupt == 0
+        assert [(c, key in m) for c, m in warnings_sink] == [("cache_read", True)]
+        assert path.exists()  # it may be perfectly healthy next time
+        hit, value = cache.load(key)
+        assert hit and value == [1, 2, 3]
+
+    def test_failed_store_warns_with_key(self, tmp_path, warnings_sink):
+        cache = ArtifactCache(root=tmp_path / "file-not-dir")
+        (tmp_path / "file-not-dir").write_text("i am a file")
+        key = cache.key("k", x=1)
+        cache.store(key, 1)
+        assert [(c, key in m) for c, m in warnings_sink] == [("cache_store", True)]
+
+    def test_warnings_fall_back_to_stderr_without_sink(self, cache, capsys):
+        key = cache.key("thing", x=1)
+        cache.store(key, [1])
+        cache.path_for(key).write_bytes(b"garbage")
+        cache.load(key)
+        err = capsys.readouterr().err
+        assert "repro:" in err and key in err
+
+    def test_kind_of_inverts_key(self, cache):
+        assert ArtifactCache.kind_of(cache.key("pipeline", x=1)) == "pipeline"
+
+
+class TestVerify:
+    def test_verify_classifies_entries(self, cache):
+        good = cache.key("thing", x=1)
+        bad = cache.key("thing", x=2)
+        cache.store(good, [1])
+        cache.store(bad, [2])
+        cache.path_for(bad).write_bytes(b"garbage")
+        report = cache.verify()
+        assert report["checked"] == 2
+        assert report["ok"] == 1
+        assert report["corrupt"] == [bad]
+        assert report["unreadable"] == []
+        # verify reports, it does not delete
+        assert cache.path_for(bad).exists()
+
+    def test_verify_empty_root(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path / "never-created")
+        assert cache.verify() == {
+            "checked": 0,
+            "ok": 0,
+            "corrupt": [],
+            "unreadable": [],
+        }
 
 
 class TestManagement:

@@ -116,15 +116,26 @@ class TestDiskCacheIntegration:
 class TestPerExperimentFallback:
     """A crashing worker costs only its own experiment (the bugfix):
     survivors keep their parallel results, only the failed one re-runs
-    serially, and the journal records the failure with a traceback."""
+    serially -- after its retry budget (``retries=0`` here, to pin the
+    attempt count) -- and the journal records the failure with a
+    classification and a traceback."""
 
     SELECTION = ["fig1", "tab3", "fig3"]
 
     def _run_with_crash(self, tmp_path, monkeypatch, crash="tab3"):
+        from repro.faults import STATE_ENV, reset_active_faults
+
         monkeypatch.setenv(CRASH_ENV, crash)
+        monkeypatch.setenv(STATE_ENV, str(tmp_path / "fault-state"))
+        reset_active_faults()
         path = tmp_path / "crash.jsonl"
-        with RunJournal(path) as journal:
-            results = run_all(SMOKE, only=self.SELECTION, jobs=2, journal=journal)
+        try:
+            with RunJournal(path) as journal:
+                results = run_all(
+                    SMOKE, only=self.SELECTION, jobs=2, journal=journal, retries=0
+                )
+        finally:
+            reset_active_faults()
         return results, read_journal(path)
 
     def test_only_failed_experiment_reruns_serially(
@@ -134,8 +145,9 @@ class TestPerExperimentFallback:
 
         failed = [e for e in events if e["event"] == "experiment_failed"]
         assert [e["experiment"] for e in failed] == ["tab3"]
-        assert "injected worker crash" in failed[0]["error"]
-        assert "RuntimeError" in failed[0]["traceback"]
+        assert failed[0]["classification"] == "crash"
+        assert "injected crash fault" in failed[0]["error"]
+        assert "InjectedCrash" in failed[0]["traceback"]
 
         serial_starts = [
             e

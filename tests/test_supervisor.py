@@ -1,0 +1,435 @@
+"""Supervisor tests: failure taxonomy, retries with backoff, timeouts
+and pool recycling, checkpoint/resume, and graceful degradation --
+driven end-to-end through injected faults (``REPRO_FAULTS``)."""
+
+import pickle
+
+import pytest
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from repro.engine import cache as artifact_cache
+from repro.engine import clear_cache
+from repro.faults import FAULTS_ENV, STATE_ENV, InjectedCrash, reset_active_faults
+from repro.harness import (
+    SMOKE,
+    Scale,
+    classify_failure,
+    clear_memoised,
+    load_checkpoint,
+    plan_resume,
+    render_report,
+    run_all,
+    store_checkpoint,
+)
+from repro.harness import parallel as parallel_mod
+from repro.obs.journal import RunJournal, read_journal
+from repro.obs.registry import REGISTRY
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path):
+    previous_root = artifact_cache.get_cache().root
+    previous_enabled = artifact_cache.get_cache().enabled
+    artifact_cache.configure(root=tmp_path / "cache", enabled=True)
+    clear_memoised()
+    clear_cache()
+    yield artifact_cache.get_cache()
+    artifact_cache.configure(root=previous_root, enabled=previous_enabled)
+    clear_memoised()
+    clear_cache()
+
+
+@pytest.fixture()
+def fault_env(tmp_path, monkeypatch):
+    """Arm REPRO_FAULTS per test with an isolated occurrence-state dir."""
+
+    def arm(spec):
+        monkeypatch.setenv(FAULTS_ENV, spec)
+        monkeypatch.setenv(STATE_ENV, str(tmp_path / "fault-state"))
+        reset_active_faults()
+
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    monkeypatch.delenv(STATE_ENV, raising=False)
+    reset_active_faults()
+    yield arm
+    reset_active_faults()
+
+
+class TestFailureTaxonomy:
+    @pytest.mark.parametrize(
+        ("error", "expected"),
+        [
+            (FutureTimeoutError(), "timeout"),
+            (MemoryError(), "fatal"),
+            (KeyboardInterrupt(), "fatal"),
+            (SystemExit(1), "fatal"),
+            (BrokenExecutor("pool died"), "crash"),
+            (InjectedCrash("injected"), "crash"),
+            (pickle.UnpicklingError("bad"), "corrupt_artifact"),
+            (EOFError(), "corrupt_artifact"),
+            (RuntimeError("anything else"), "retryable"),
+            (ValueError("still anything else"), "retryable"),
+        ],
+    )
+    def test_classification(self, error, expected):
+        assert classify_failure(error) == expected
+
+
+class TestSupervisorKnobs:
+    def test_task_timeout_env(self, monkeypatch):
+        monkeypatch.delenv(parallel_mod.TIMEOUT_ENV, raising=False)
+        assert parallel_mod.task_timeout_from_env() is None
+        monkeypatch.setenv(parallel_mod.TIMEOUT_ENV, "30")
+        assert parallel_mod.task_timeout_from_env() == 30.0
+        monkeypatch.setenv(parallel_mod.TIMEOUT_ENV, "0")
+        assert parallel_mod.task_timeout_from_env() is None  # <=0 disables
+        monkeypatch.setenv(parallel_mod.TIMEOUT_ENV, "nope")
+        assert parallel_mod.task_timeout_from_env() is None
+
+    def test_retries_and_backoff_env(self, monkeypatch):
+        monkeypatch.delenv(parallel_mod.RETRIES_ENV, raising=False)
+        monkeypatch.delenv(parallel_mod.BACKOFF_ENV, raising=False)
+        assert parallel_mod.retries_from_env() == parallel_mod.DEFAULT_RETRIES
+        assert parallel_mod.backoff_from_env() == parallel_mod.DEFAULT_BACKOFF_S
+        monkeypatch.setenv(parallel_mod.RETRIES_ENV, "5")
+        monkeypatch.setenv(parallel_mod.BACKOFF_ENV, "0.1")
+        assert parallel_mod.retries_from_env() == 5
+        assert parallel_mod.backoff_from_env() == 0.1
+
+
+class TestRetries:
+    def test_flaky_worker_recovers_in_pool(
+        self, isolated_cache, fault_env, tmp_path
+    ):
+        """A fail-once worker costs one retry, not a serial fallback."""
+        fault_env("flaky:experiment=tab3")
+        path = tmp_path / "flaky.jsonl"
+        with RunJournal(path) as journal:
+            results = run_all(
+                SMOKE,
+                only=["fig1", "tab3"],
+                jobs=2,
+                journal=journal,
+                backoff_s=0.01,
+            )
+        events = read_journal(path)
+        failed = [e for e in events if e["event"] == "experiment_failed"]
+        assert [(e["experiment"], e["classification"]) for e in failed] == [
+            ("tab3", "crash")
+        ]
+        retries = [e for e in events if e["event"] == "experiment_retry"]
+        assert [(e["experiment"], e["attempt"]) for e in retries] == [("tab3", 2)]
+        finished = {
+            e["experiment"]: e["mode"]
+            for e in events
+            if e["event"] == "experiment_finished"
+        }
+        assert finished == {"fig1": "parallel", "tab3": "parallel"}
+        assert list(results) == ["fig1", "tab3"]
+
+    def test_unbounded_crash_exhausts_retries_then_runs_serially(
+        self, isolated_cache, fault_env, tmp_path
+    ):
+        fault_env("crash:experiment=tab3")
+        path = tmp_path / "crash.jsonl"
+        with RunJournal(path) as journal:
+            results = run_all(
+                SMOKE,
+                only=["fig1", "tab3"],
+                jobs=2,
+                journal=journal,
+                retries=1,
+                backoff_s=0.01,
+            )
+        events = read_journal(path)
+        failed = [
+            e["attempt"] for e in events if e["event"] == "experiment_failed"
+        ]
+        assert failed == [1, 2]  # initial attempt + one retry
+        serial_starts = [
+            e["experiment"]
+            for e in events
+            if e["event"] == "experiment_started" and e["mode"] == "serial"
+        ]
+        assert serial_starts == ["tab3"]
+        assert list(results) == ["fig1", "tab3"]
+
+    def test_retries_zero_means_one_attempt(
+        self, isolated_cache, fault_env, tmp_path
+    ):
+        fault_env("crash:experiment=tab3")
+        path = tmp_path / "noretry.jsonl"
+        with RunJournal(path) as journal:
+            run_all(
+                SMOKE,
+                only=["tab3"],
+                jobs=2,
+                journal=journal,
+                retries=0,
+                backoff_s=0.01,
+            )
+        events = read_journal(path)
+        assert len([e for e in events if e["event"] == "experiment_failed"]) == 1
+        assert not [e for e in events if e["event"] == "experiment_retry"]
+
+    def test_backoff_schedule_is_deterministic_and_exponential(
+        self, isolated_cache, fault_env, tmp_path
+    ):
+        fault_env("crash:experiment=tab3")
+        path = tmp_path / "backoff.jsonl"
+        with RunJournal(path) as journal:
+            run_all(
+                SMOKE,
+                only=["tab3"],
+                jobs=2,
+                journal=journal,
+                retries=2,
+                backoff_s=0.01,
+            )
+        delays = [
+            e["delay_s"]
+            for e in read_journal(path)
+            if e["event"] == "experiment_retry"
+        ]
+        assert delays == [0.01, 0.02]
+
+
+class TestTimeoutAndRecycle:
+    def test_hung_worker_times_out_recycles_pool_and_retries(
+        self, isolated_cache, fault_env, tmp_path
+    ):
+        """The expensive one: a worker that sleeps forever costs one
+        task timeout, the pool is recycled (hung process killed), and
+        the retry completes in a fresh pool."""
+        fault_env("hang:experiment=tab3:times=1")
+        path = tmp_path / "hang.jsonl"
+        with RunJournal(path) as journal:
+            results = run_all(
+                SMOKE,
+                only=["fig1", "tab3"],
+                jobs=2,
+                journal=journal,
+                task_timeout=10,
+                backoff_s=0.01,
+            )
+        events = read_journal(path)
+        failed = [e for e in events if e["event"] == "experiment_failed"]
+        assert [(e["experiment"], e["classification"]) for e in failed] == [
+            ("tab3", "timeout")
+        ]
+        assert "task timeout" in failed[0]["error"]
+        recycles = [e for e in events if e["event"] == "pool_recycled"]
+        assert [e["reason"] for e in recycles] == ["hung_worker"]
+        finished = {
+            e["experiment"]: e["mode"]
+            for e in events
+            if e["event"] == "experiment_finished"
+        }
+        assert finished == {"fig1": "parallel", "tab3": "parallel"}
+        assert list(results) == ["fig1", "tab3"]
+
+
+class TestPoolLevelDegradation:
+    def test_unbuildable_pool_degrades_to_full_serial_run(
+        self, isolated_cache, tmp_path, monkeypatch
+    ):
+        """Pool construction failing entirely (no forks allowed, broken
+        multiprocessing) must not cost any experiment: the whole
+        selection runs serially in the parent."""
+
+        class NoPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no processes for you")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", NoPool)
+        path = tmp_path / "nopool.jsonl"
+        with RunJournal(path) as journal:
+            results = run_all(SMOKE, only=["fig1", "tab3"], jobs=2, journal=journal)
+        events = read_journal(path)
+        warnings = [e for e in events if e["event"] == "warning"]
+        assert any(e["context"] == "pool" for e in warnings)
+        finished = {
+            e["experiment"]: e["mode"]
+            for e in events
+            if e["event"] == "experiment_finished"
+        }
+        assert finished == {"fig1": "serial", "tab3": "serial"}
+        assert list(results) == ["fig1", "tab3"]
+        assert all(r.duration_s is not None for r in results.values())
+
+
+class TestFaultedEquivalence:
+    def test_faulted_parallel_report_matches_clean_serial(
+        self, isolated_cache, fault_env, tmp_path
+    ):
+        """The acceptance bar: crash + corruption faults under jobs=2
+        must not change a byte of the report."""
+        fault_env("flaky:experiment=tab3,corrupt:artifact=trace:times=1")
+        faulted = run_all(
+            SMOKE, only=["fig1", "tab3", "fig3"], jobs=2, backoff_s=0.01
+        )
+        fault_env("")  # disarm
+        clear_memoised()
+        clean = run_all(SMOKE, only=["fig1", "tab3", "fig3"], jobs=1)
+        clock = lambda: "(timestamp stripped)"  # noqa: E731
+        assert render_report(
+            faulted, SMOKE, clock=clock, performance=False
+        ) == render_report(clean, SMOKE, clock=clock, performance=False)
+
+
+class TestCheckpoints:
+    def test_store_then_load_roundtrip(self, isolated_cache):
+        results = run_all(SMOKE, only=["fig1"], jobs=1)
+        hit, restored = load_checkpoint("fig1", SMOKE)
+        assert hit
+        assert restored.to_text() == results["fig1"].to_text()
+
+    def test_scale_mismatch_is_a_miss(self, isolated_cache):
+        run_all(SMOKE, only=["fig1"], jobs=1)
+        other = Scale(
+            iterations=(SMOKE.iterations or 0) + 1,
+            pipeline_instructions=SMOKE.pipeline_instructions,
+            workloads=SMOKE.workloads,
+        )
+        hit, __ = load_checkpoint("fig1", other)
+        assert not hit
+
+    def test_disabled_cache_disables_checkpoints(self, tmp_path):
+        previous_root = artifact_cache.get_cache().root
+        previous_enabled = artifact_cache.get_cache().enabled
+        artifact_cache.configure(root=tmp_path / "off", enabled=False)
+        try:
+            store_checkpoint("fig1", SMOKE, object())
+            hit, __ = load_checkpoint("fig1", SMOKE)
+            assert not hit
+        finally:
+            artifact_cache.configure(root=previous_root, enabled=previous_enabled)
+
+    def test_poisoned_checkpoint_is_rejected(self, isolated_cache):
+        cache = isolated_cache
+        from repro.harness.checkpoint import checkpoint_key
+
+        cache.store(checkpoint_key(cache, "fig1", SMOKE), {"not": "a result"})
+        hit, value = load_checkpoint("fig1", SMOKE)
+        assert not hit and value is None
+
+
+class TestResume:
+    SELECTION = ["fig1", "tab3", "fig3"]
+
+    def _first_run(self, tmp_path):
+        path = tmp_path / "first.jsonl"
+        with RunJournal(path) as journal:
+            results = run_all(SMOKE, only=self.SELECTION, jobs=1, journal=journal)
+        return path, results
+
+    def test_plan_resume_reads_selection_scale_and_ledger(
+        self, isolated_cache, tmp_path
+    ):
+        path, __ = self._first_run(tmp_path)
+        plan = plan_resume(path)
+        assert plan.selection == self.SELECTION
+        assert plan.scale == SMOKE
+        assert plan.finished == self.SELECTION
+        assert plan.problems == []
+
+    def test_plan_resume_tolerates_truncated_tail(self, isolated_cache, tmp_path):
+        path, __ = self._first_run(tmp_path)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 25])  # kill -9 mid-write
+        plan = plan_resume(path)
+        assert plan.selection == self.SELECTION
+        assert len(plan.problems) == 1
+
+    def test_resume_skips_finished_and_matches_original(
+        self, isolated_cache, tmp_path
+    ):
+        path, first = self._first_run(tmp_path)
+        clear_memoised()
+        resumed_path = tmp_path / "resumed.jsonl"
+        with RunJournal(resumed_path) as journal:
+            resumed = run_all(
+                SMOKE, only=self.SELECTION, jobs=1, journal=journal, resume=path
+            )
+        events = read_journal(resumed_path)
+        skipped = [
+            e["experiment"] for e in events if e["event"] == "experiment_skipped"
+        ]
+        assert skipped == self.SELECTION
+        assert all(e["source"] == "checkpoint" for e in events if e["event"] == "experiment_skipped")
+        assert not [e for e in events if e["event"] == "experiment_started"]
+        resumed_events = [e for e in events if e["event"] == "run_resumed"]
+        assert len(resumed_events) == 1
+        assert resumed_events[0]["skipped"] == self.SELECTION
+        for experiment_id in self.SELECTION:
+            assert (
+                resumed[experiment_id].to_text()
+                == first[experiment_id].to_text()
+            )
+
+    def test_resume_runs_only_the_unfinished_remainder(
+        self, isolated_cache, tmp_path
+    ):
+        """Simulate a battery killed after its first experiment: the
+        journal records one finish, resume re-runs only the rest."""
+        path, __ = self._first_run(tmp_path)
+        events = read_journal(path)
+        keep = []
+        for event, line in zip(events, path.read_text().splitlines()):
+            keep.append(line)
+            if event["event"] == "experiment_finished":
+                break  # the kill lands right after fig1 completes
+        path.write_text("\n".join(keep) + "\n")
+
+        clear_memoised()
+        resumed_path = tmp_path / "resumed.jsonl"
+        with RunJournal(resumed_path) as journal:
+            resumed = run_all(
+                SMOKE, only=self.SELECTION, jobs=1, journal=journal, resume=path
+            )
+        events = read_journal(resumed_path)
+        skipped = [
+            e["experiment"] for e in events if e["event"] == "experiment_skipped"
+        ]
+        started = [
+            e["experiment"] for e in events if e["event"] == "experiment_started"
+        ]
+        assert skipped == ["fig1"]
+        assert started == ["tab3", "fig3"]
+        assert list(resumed) == self.SELECTION
+
+    def test_missing_checkpoint_demotes_to_rerun(self, isolated_cache, tmp_path):
+        path, first = self._first_run(tmp_path)
+        isolated_cache.clear()  # checkpoints gone; journal still says finished
+        clear_memoised()
+        resumed_path = tmp_path / "resumed.jsonl"
+        with RunJournal(resumed_path) as journal:
+            resumed = run_all(
+                SMOKE, only=self.SELECTION, jobs=1, journal=journal, resume=path
+            )
+        events = read_journal(resumed_path)
+        assert not [e for e in events if e["event"] == "experiment_skipped"]
+        started = [
+            e["experiment"] for e in events if e["event"] == "experiment_started"
+        ]
+        assert started == self.SELECTION
+        for experiment_id in self.SELECTION:
+            assert (
+                resumed[experiment_id].to_text()
+                == first[experiment_id].to_text()
+            )
+
+    def test_resumed_report_notes_restored_experiments(
+        self, isolated_cache, tmp_path
+    ):
+        path, __ = self._first_run(tmp_path)
+        before = REGISTRY.snapshot()
+        clear_memoised()
+        resumed = run_all(SMOKE, only=self.SELECTION, jobs=1, resume=path)
+        assert (
+            REGISTRY.since(before).counters.get("supervisor.experiments_resumed")
+            == len(self.SELECTION)
+        )
+        report = render_report(resumed, SMOKE)
+        assert "restored from checkpoints" in report
