@@ -6,16 +6,21 @@ rendered tables, a 100% hit rate on the warm pass, and strictly less
 simulated work.
 """
 
-from repro.engine import SIMULATION_COUNTERS
+from repro.engine import BRANCHES_METRIC
 from repro.engine.cache import configure, get_cache
 from repro.engine.corpus import clear_cache
 from repro.harness import SMOKE, clear_memoised, run_all
+from repro.obs.registry import REGISTRY
 
 
 def _drop_memo():
     """Forget in-process memoisation but keep the disk cache."""
     clear_memoised()
     clear_cache()
+
+
+def _simulated_branches(baseline):
+    return REGISTRY.since(baseline).counters.get(BRANCHES_METRIC, 0.0)
 
 
 def test_warm_cache_skips_resimulation(benchmark, tmp_path):
@@ -26,18 +31,18 @@ def test_warm_cache_skips_resimulation(benchmark, tmp_path):
         clear_cache()
         selected = ["tab2", "fig6"]
 
-        cold_base = SIMULATION_COUNTERS.snapshot()
+        cold_base = REGISTRY.snapshot()
         cold = run_all(scale=SMOKE, only=selected)
-        cold_work = SIMULATION_COUNTERS.since(cold_base).branches
+        cold_work = _simulated_branches(cold_base)
         cold_stats = get_cache().stats.snapshot()
         assert cold_stats.writes > 0, "cold run should populate the cache"
 
         _drop_memo()
-        warm_base = SIMULATION_COUNTERS.snapshot()
+        warm_base = REGISTRY.snapshot()
         warm = benchmark.pedantic(
             lambda: run_all(scale=SMOKE, only=selected), rounds=1, iterations=1
         )
-        warm_work = SIMULATION_COUNTERS.since(warm_base).branches
+        warm_work = _simulated_branches(warm_base)
         warm_delta = get_cache().stats.since(cold_stats)
 
         for experiment_id in selected:

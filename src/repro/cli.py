@@ -9,6 +9,8 @@ Usage examples::
     repro run --resume run.jsonl       # continue a killed/crashed run
     repro run --jobs 4 --task-timeout 300 --retries 3   # supervised sweep
     repro cache verify                 # detect corrupt cache entries
+    repro bench --json bench.json      # machine-readable battery benchmark
+    repro list --markdown              # the README battery table
     repro run-all --out report.txt     # the whole battery
     repro speculate --scale smoke      # the speculation-control battery
     repro profile tab2 --scale smoke   # cProfile one experiment
@@ -22,14 +24,23 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional
 
+from .engine import (
+    BANK_PASSES_METRIC,
+    BRANCHES_METRIC,
+    PASSES_SAVED_METRIC,
+    REPLAY_TIMER,
+)
 from .engine import cache as artifact_cache
 from .engine import trace_branches, workload_program, workload_run
 from .harness import (
     EXPERIMENTS,
     SCALES,
+    SPECS,
     SPECULATION_BATTERY,
     Scale,
     default_jobs,
@@ -38,6 +49,8 @@ from .harness import (
     run_all,
     run_experiment,
 )
+from .harness.spec import SECTIONS
+from .obs.registry import REGISTRY
 from .harness.plot import distance_chart, figure1_chart, sweep_chart
 from .obs import journal as obs_journal
 from .obs.journal import RunJournal
@@ -169,11 +182,30 @@ def _resolve_execution(
     return max(1, jobs) if jobs is not None else default_jobs(journal)
 
 
+def battery_table_markdown() -> str:
+    """The README's battery table, generated from the spec registry."""
+    lines = [
+        "| experiment | paper artifact | title | command |",
+        "|---|---|---|---|",
+    ]
+    for spec in SPECS.in_order():
+        paper_ref = spec.paper_ref or "--"
+        lines.append(
+            f"| `{spec.experiment_id}` | {paper_ref} | {spec.title}"
+            f" | `repro run {spec.experiment_id}` |"
+        )
+    return "\n".join(lines)
+
+
 def _command_list(args: argparse.Namespace) -> int:
-    print("experiments:")
-    for experiment_id, function in EXPERIMENTS.items():
-        doc = (function.__doc__ or "").strip().splitlines()[0]
-        print(f"  {experiment_id:6s} {doc}")
+    if getattr(args, "markdown", False):
+        print(battery_table_markdown())
+        return 0
+    for section, specs in SPECS.by_section().items():
+        print(f"experiments ({SECTIONS.get(section, section)}):")
+        for spec in specs:
+            ref = f" [{spec.paper_ref}]" if spec.paper_ref else ""
+            print(f"  {spec.experiment_id:22s} {spec.title}{ref}")
     print("workloads:")
     for name in SUITE:
         profile = get_profile(name)
@@ -283,6 +315,69 @@ def _command_speculate(args: argparse.Namespace) -> int:
     return _run_battery_command(args, list(SPECULATION_BATTERY))
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    """Run a battery and emit a machine-readable benchmark summary."""
+    jobs = _resolve_execution(args)
+    scale = _scale_from_args(args)
+    only = args.only.split(",") if args.only else None
+    cache = artifact_cache.get_cache()
+    cache_baseline = cache.stats.snapshot()
+    metrics_baseline = REGISTRY.snapshot()
+    started = time.perf_counter()
+    results = run_all(scale, only=only, jobs=jobs)
+    wall_seconds = time.perf_counter() - started
+    stats = cache.stats.since(cache_baseline)
+    metrics = REGISTRY.since(metrics_baseline)
+    branches = metrics.counters.get(BRANCHES_METRIC, 0.0)
+    sim_seconds = metrics.timers.get(REPLAY_TIMER, None)
+    sim_seconds = sim_seconds.seconds if sim_seconds is not None else 0.0
+    lookups = stats.hits + stats.misses
+    payload = {
+        "schema": "repro-bench/1",
+        "scale": {
+            "iterations": scale.iterations,
+            "pipeline_instructions": scale.pipeline_instructions,
+            "workloads": list(scale.workloads),
+        },
+        "jobs": jobs,
+        "wall_seconds": wall_seconds,
+        "experiments": [
+            {
+                "id": experiment_id,
+                "duration_s": result.duration_s,
+            }
+            for experiment_id, result in results.items()
+        ],
+        "simulation": {
+            "branches": int(branches),
+            "seconds": sim_seconds,
+            "branches_per_second": (
+                branches / sim_seconds if sim_seconds > 0 else 0.0
+            ),
+        },
+        "cache": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "writes": stats.writes,
+            "hit_rate": stats.hits / lookups if lookups else 0.0,
+        },
+        "session": {
+            "bank_passes": int(metrics.counters.get(BANK_PASSES_METRIC, 0.0)),
+            "passes_saved": int(
+                metrics.counters.get(PASSES_SAVED_METRIC, 0.0)
+            ),
+        },
+    }
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.json_path}")
+    else:
+        print(rendered)
+    return 0
+
+
 def _command_profile(args: argparse.Namespace) -> int:
     """cProfile one experiment; optionally census hot branch sites."""
     scale = _scale_from_args(args)
@@ -347,7 +442,14 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-PLOTTABLE = ("fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9")
+def _plottable() -> tuple:
+    """Experiment ids whose specs declare a plotted figure."""
+    return tuple(
+        spec.experiment_id for spec in SPECS.in_order() if spec.plot
+    )
+
+
+PLOTTABLE = _plottable()
 
 
 def _command_plot(args: argparse.Namespace) -> int:
@@ -417,7 +519,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list experiments and workloads")
+    list_parser = subparsers.add_parser(
+        "list", help="list experiments and workloads"
+    )
+    list_parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the battery table as markdown (what README.md embeds)",
+    )
 
     run_parser = subparsers.add_parser(
         "run", help="run one experiment (or the whole battery if omitted)"
@@ -447,6 +556,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_arguments(speculate_parser)
     _add_execution_arguments(speculate_parser)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run a battery and emit a machine-readable benchmark summary"
+        " (wall time, branches/s, cache hit rate, bank passes saved)",
+    )
+    bench_parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the JSON summary to PATH instead of stdout",
+    )
+    bench_parser.add_argument(
+        "--only", default=None, help="comma-separated experiment ids"
+    )
+    _add_scale_arguments(bench_parser)
+    bench_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the battery (default: $REPRO_JOBS or 1)",
+    )
+    bench_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk artifact cache for this invocation",
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk artifact cache"
@@ -522,6 +659,7 @@ _COMMANDS = {
     "run": _command_run,
     "run-all": _command_run_all,
     "speculate": _command_speculate,
+    "bench": _command_bench,
     "cache": _command_cache,
     "plot": _command_plot,
     "profile": _command_profile,

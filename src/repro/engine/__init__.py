@@ -2,8 +2,18 @@
 
 from .cache import ArtifactCache, CacheStats, configure, get_cache
 from .corpus import clear_cache, profile_fingerprint, workload_program, workload_run
-from .counters import SIMULATION_COUNTERS, SimulationCounters
-from .measure import MeasurementResult, Observer, measure, measure_accuracy
+from .measure import (
+    BANK_PASSES_METRIC,
+    BRANCHES_METRIC,
+    PASSES_SAVED_METRIC,
+    REPLAY_TIMER,
+    MeasurementResult,
+    Observer,
+    measure,
+    measure_accuracy,
+    measure_bank,
+    record_simulation,
+)
 from .tracer import TracedRun, TraceRunStats, trace_branches
 
 __all__ = [
@@ -15,12 +25,16 @@ __all__ = [
     "profile_fingerprint",
     "workload_program",
     "workload_run",
-    "SIMULATION_COUNTERS",
-    "SimulationCounters",
+    "BANK_PASSES_METRIC",
+    "BRANCHES_METRIC",
+    "PASSES_SAVED_METRIC",
+    "REPLAY_TIMER",
     "MeasurementResult",
     "Observer",
     "measure",
     "measure_accuracy",
+    "measure_bank",
+    "record_simulation",
     "TracedRun",
     "TraceRunStats",
     "trace_branches",

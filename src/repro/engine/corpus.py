@@ -20,7 +20,7 @@ from typing import Optional
 from ..isa import Program
 from ..workloads import generate_program, get_profile
 from .cache import get_cache
-from .counters import SIMULATION_COUNTERS
+from .measure import record_simulation
 from .tracer import TracedRun, trace_branches
 
 
@@ -44,7 +44,7 @@ def workload_program(name: str, iterations: Optional[int] = None) -> Program:
 def _trace_workload(name: str, iterations: Optional[int]) -> TracedRun:
     started = time.perf_counter()
     run = trace_branches(workload_program(name, iterations))
-    SIMULATION_COUNTERS.record(
+    record_simulation(
         branches=run.stats.branches, seconds=time.perf_counter() - started
     )
     return run

@@ -1,104 +1,24 @@
-"""Process-wide simulation throughput counters.
+"""Removed: the ``SIMULATION_COUNTERS`` facade is gone.
 
-Every simulation loop (trace replay in :mod:`repro.engine.measure`,
-functional tracing in :mod:`repro.engine.corpus`) reports how many
-branches it processed and how long it took.  The harness snapshots the
-counters around a battery run and the report renderer turns the delta
-into a branches-per-second figure, so speedups from caching and
-parallelism are visible directly in ``EXPERIMENTS.md``-style output.
+The observability refactor (PR 2) turned this module into a thin facade
+over the unified metrics registry; this release deletes the facade
+outright.  Read simulation throughput from
+:data:`repro.obs.registry.REGISTRY` instead::
 
-Since the observability refactor these counters are a *facade* over the
-unified metrics registry (:mod:`repro.obs.registry`): ``record`` feeds
-the ``sim.branches`` counter and ``sim.replay`` timer, and the parallel
-scheduler ships whole registry deltas instead of a bespoke counter
-pair.  The :class:`SimulationCounters` value object and the
-``SIMULATION_COUNTERS`` global keep their original API so existing
-callers (runner, benchmarks) are untouched.
+    from repro.obs.registry import REGISTRY
+    from repro.engine.measure import BRANCHES_METRIC, REPLAY_TIMER
+
+    branches = REGISTRY.counter_value(BRANCHES_METRIC)   # "sim.branches"
+    seconds = REGISTRY.timer_value(REPLAY_TIMER).seconds  # "sim.replay"
+
+Simulation loops report via :func:`repro.engine.measure.record_simulation`.
+This import-error shim remains for one release so stale callers fail
+with a pointer instead of an AttributeError.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-
-from ..obs.registry import MetricsRegistry, get_registry
-
-#: Registry metric names the facade writes to.
-BRANCHES_METRIC = "sim.branches"
-REPLAY_TIMER = "sim.replay"
-
-
-@dataclass
-class SimulationCounters:
-    """Branches simulated and wall time spent simulating them.
-
-    A plain value object: ``SIMULATION_COUNTERS.snapshot()`` returns
-    one, and deltas between two snapshots describe a run's work.
-    """
-
-    branches: int = 0
-    seconds: float = 0.0
-
-    def merge(self, other: "SimulationCounters") -> None:
-        self.branches += other.branches
-        self.seconds += other.seconds
-
-    def snapshot(self) -> "SimulationCounters":
-        return SimulationCounters(branches=self.branches, seconds=self.seconds)
-
-    def since(self, earlier: "SimulationCounters") -> "SimulationCounters":
-        return SimulationCounters(
-            branches=self.branches - earlier.branches,
-            seconds=self.seconds - earlier.seconds,
-        )
-
-    @property
-    def branches_per_second(self) -> float:
-        return self.branches / self.seconds if self.seconds > 0 else 0.0
-
-
-class RegistrySimulationCounters:
-    """The live counters, backed by the process metrics registry.
-
-    Same surface as the old ad-hoc global (``record`` / ``snapshot`` /
-    ``since`` / ``merge`` / ``reset`` / the throughput properties) but
-    every update lands in :data:`repro.obs.registry.REGISTRY`, so the
-    journal's ``metrics_snapshot`` events and the report's throughput
-    note can never disagree.
-    """
-
-    def __init__(self, registry: MetricsRegistry | None = None):
-        self._registry = get_registry(registry)
-
-    @property
-    def branches(self) -> int:
-        return int(self._registry.counter_value(BRANCHES_METRIC))
-
-    @property
-    def seconds(self) -> float:
-        return self._registry.timer_value(REPLAY_TIMER).seconds
-
-    @property
-    def branches_per_second(self) -> float:
-        seconds = self.seconds
-        return self.branches / seconds if seconds > 0 else 0.0
-
-    def record(self, branches: int, seconds: float) -> None:
-        self._registry.count(BRANCHES_METRIC, branches)
-        self._registry.observe_seconds(REPLAY_TIMER, seconds)
-
-    def snapshot(self) -> SimulationCounters:
-        return SimulationCounters(branches=self.branches, seconds=self.seconds)
-
-    def since(self, earlier: SimulationCounters) -> SimulationCounters:
-        return self.snapshot().since(earlier)
-
-    def merge(self, other: SimulationCounters) -> None:
-        self.record(other.branches, other.seconds)
-
-    def reset(self) -> None:
-        self._registry.discard(BRANCHES_METRIC)
-        self._registry.discard(REPLAY_TIMER)
-
-
-#: The process-wide instance (registry-backed).
-SIMULATION_COUNTERS = RegistrySimulationCounters()
+raise ImportError(
+    "repro.engine.counters was removed: SIMULATION_COUNTERS is gone."
+    " Use repro.obs.registry.REGISTRY (the 'sim.branches' counter and"
+    " 'sim.replay' timer; metric-name constants live in"
+    " repro.engine.measure)."
+)

@@ -19,8 +19,24 @@ from typing import Callable, Dict, Iterable, Mapping, Sequence, Tuple
 
 from ..confidence.base import ConfidenceEstimator
 from ..metrics.quadrant import QuadrantCounts
+from ..obs.registry import REGISTRY
 from ..predictors.base import BranchPredictor
-from .counters import SIMULATION_COUNTERS
+
+#: Registry metric names every simulation loop reports into.
+BRANCHES_METRIC = "sim.branches"
+REPLAY_TIMER = "sim.replay"
+
+#: Estimator-bank session metrics: how many one-pass bank measurements
+#: ran, and how many single-purpose passes they subsumed beyond the one
+#: actually executed (the battery's simulation savings).
+BANK_PASSES_METRIC = "session.bank_passes"
+PASSES_SAVED_METRIC = "session.passes_saved"
+
+
+def record_simulation(branches: int, seconds: float) -> None:
+    """Count one simulation loop's work into the process registry."""
+    REGISTRY.count(BRANCHES_METRIC, branches)
+    REGISTRY.observe_seconds(REPLAY_TIMER, seconds)
 
 #: Observer signature: (pc, predicted_taken, actual_taken,
 #: {estimator name: high_confidence}).  Called once per branch, after
@@ -101,7 +117,7 @@ def measure(
             quadrants[name].record(correct, assessment.high_confidence)
 
     elapsed = time.perf_counter() - started
-    SIMULATION_COUNTERS.record(branches=branches, seconds=elapsed)
+    record_simulation(branches=branches, seconds=elapsed)
     return MeasurementResult(
         predictor_name=predictor.name,
         branches=branches,
@@ -116,3 +132,29 @@ def measure_accuracy(
 ) -> MeasurementResult:
     """Predictor-only measurement (no estimators attached)."""
     return measure(trace, predictor, {})
+
+
+def measure_bank(
+    trace: Iterable[Tuple[int, bool]],
+    predictor: BranchPredictor,
+    estimators: Mapping[str, ConfidenceEstimator],
+    subsumes: int = 1,
+    observers: Sequence[Observer] = (),
+) -> MeasurementResult:
+    """One-pass estimator-bank measurement with session accounting.
+
+    Identical to :func:`measure` -- estimators never perturb the
+    predictor or each other, so co-measuring more of them changes no
+    per-estimator quadrant -- but it additionally accounts the *bank
+    effect*: ``subsumes`` is the number of single-purpose
+    :func:`measure` passes this bank replaces (each former consumer
+    group of the same (workload, predictor) trace), and ``subsumes - 1``
+    is credited to the ``session.passes_saved`` counter.  The journal's
+    ``metrics_snapshot`` and the report's Battery-performance section
+    surface the saving.
+    """
+    result = measure(trace, predictor, estimators, observers)
+    REGISTRY.count(BANK_PASSES_METRIC)
+    if subsumes > 1:
+        REGISTRY.count(PASSES_SAVED_METRIC, subsumes - 1)
+    return result

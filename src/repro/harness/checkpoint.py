@@ -13,13 +13,43 @@ again", so resume can never produce different output than a fresh run.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Optional, Tuple
 
 from ..engine import cache as artifact_cache
+from ..engine import profile_fingerprint
 from ..obs.registry import REGISTRY
 from .experiments import ExperimentResult, Scale
+from .spec import SPECS
 
 CHECKPOINT_KIND = "checkpoint"
+
+
+def spec_fingerprint(experiment_id: str, scale: Scale) -> str:
+    """Digest of an experiment's declared inputs at one scale.
+
+    Covers the spec's artifact dependency declarations and the profile
+    fingerprints of the workloads it will run over, so a checkpoint
+    goes stale when an experiment starts depending on different
+    artifacts (or a workload profile changes) -- not just when the
+    cache salt is bumped.  Unregistered ids hash to a constant, keeping
+    the key stable for ad-hoc experiment functions.
+    """
+    spec = SPECS.get(experiment_id)
+    payload = {
+        "deps": [list(dep.key_parts()) for dep in spec.deps]
+        if spec is not None
+        else [],
+        "profiles": {
+            workload: profile_fingerprint(workload)
+            for workload in scale.workloads
+        },
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
 
 
 def checkpoint_key(cache: artifact_cache.ArtifactCache, experiment_id: str, scale: Scale) -> str:
@@ -29,6 +59,7 @@ def checkpoint_key(cache: artifact_cache.ArtifactCache, experiment_id: str, scal
         iterations=scale.iterations,
         pipeline_instructions=scale.pipeline_instructions,
         workloads=list(scale.workloads),
+        fingerprint=spec_fingerprint(experiment_id, scale),
     )
 
 

@@ -1,24 +1,30 @@
 """One experiment per table/figure of the paper.
 
-Every experiment is a plain function ``(scale) -> ExperimentResult``;
-the result carries renderable text tables *and* the structured data the
-tests/benchmarks assert shape properties on.  ``EXPERIMENTS`` maps the
-experiment ids used throughout DESIGN.md / EXPERIMENTS.md to these
-functions.
+Every experiment is a plain function ``(scale) -> ExperimentResult``
+registered declaratively as an :class:`repro.harness.spec.ExperimentSpec`
+in the central :data:`repro.harness.spec.SPECS` registry, which carries
+its report section/order and its declared dependencies on shared
+artifacts.  ``EXPERIMENTS`` is a read-only ``id -> function`` view over
+that registry for legacy callers.
 
 Heavy intermediate products (workload traces, pipeline branch records,
-static-estimator profiles, per-workload estimator measurements) are
-memoised per scale in process *and* persisted in the content-addressed
-artifact cache (:mod:`repro.engine.cache`), so the whole battery costs
-each simulation once per machine -- warm reruns, pytest sessions and
-parallel workers (:mod:`repro.harness.parallel`) all share them.
+static-estimator profiles, per-workload estimator-bank measurements)
+are memoised per scale in process *and* persisted in the
+content-addressed artifact cache (:mod:`repro.engine.cache`), so the
+whole battery costs each simulation once per machine -- warm reruns,
+pytest sessions and parallel workers (:mod:`repro.harness.parallel`)
+all share them.  The estimator bank (:func:`measurement_cell`) goes one
+step further: all estimator families a battery needs for one
+(workload, predictor) pair are evaluated in a *single* trace pass, so
+even a cold cache simulates each pair exactly once
+(``session.passes_saved`` counts the subsumed passes).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.clustering import measure_boosting, misestimation_distance
 from ..analysis.distance import (
@@ -34,8 +40,10 @@ from ..analysis.sweeps import (
     jrs_value_histogram,
 )
 from ..confidence import (
+    BoostedEstimator,
     JRSEstimator,
     McFarlingVariant,
+    MispredictionDistanceEstimator,
     PatternHistoryEstimator,
     SaturatingCountersEstimator,
     StaticEstimator,
@@ -44,8 +52,7 @@ from ..confidence import (
 )
 from ..engine import (
     get_cache,
-    measure,
-    measure_accuracy,
+    measure_bank,
     profile_fingerprint,
     workload_program,
     workload_run,
@@ -55,6 +62,7 @@ from ..pipeline import PipelineConfig, PipelineSimulator
 from ..predictors import make_predictor
 from ..workloads import SUITE
 from . import paper_values
+from .spec import SPECS, ArtifactDep, ExperimentFunctions, ExperimentSpec
 from .tables import TextTable, pct, pct1
 
 #: Predictors compared throughout the paper's evaluation.
@@ -69,6 +77,24 @@ ESTIMATOR_LABELS = {
     "pattern": "History Pattern",
     "static": "Static, Threshold > 90%",
 }
+
+#: Estimator families the measurement bank can co-evaluate in one trace
+#: pass, in canonical bank order.  ``accuracy`` is the estimator-free
+#: family (predictor accuracy only); the rest map 1:1 onto estimator
+#: configurations from the paper.
+BANK_FAMILIES = (
+    "accuracy",
+    "jrs",
+    "satcnt",
+    "satcnt-either",
+    "pattern",
+    "static",
+    "distance",
+    "boosted-distance",
+)
+
+#: The Table 2 quartet (display order doubles as the family subset).
+STANDARD_FAMILIES = ESTIMATOR_ORDER
 
 
 @dataclass(frozen=True)
@@ -233,32 +259,201 @@ def standard_estimators(predictor_name: str, predictor, workload: str, scale: Sc
     }
 
 
-def _compute_table2_workload(
-    predictor_name: str, workload: str, iterations: Optional[int]
-) -> Tuple[Dict[str, QuadrantCounts], float]:
+# ----------------------------------------------------------------------
+# the estimator bank: one trace pass per (workload, predictor) cell
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MeasurementCell:
+    """One estimator-bank measurement of a (predictor, workload) pair.
+
+    ``quadrants`` is keyed by family name; ``accuracy`` is the
+    predictor's committed-branch accuracy from the same pass.  Cells
+    are the cacheable unit the DAG's ``measurement`` artifacts map to.
+    """
+
+    predictor: str
+    workload: str
+    families: Tuple[str, ...]
+    quadrants: Dict[str, QuadrantCounts]
+    accuracy: float
+    branches: int
+    mispredictions: int
+
+    def quadrant(self, family: str) -> QuadrantCounts:
+        try:
+            return self.quadrants[family]
+        except KeyError:
+            raise KeyError(
+                f"family {family!r} was not measured in this cell"
+                f" (has: {', '.join(self.families)})"
+            ) from None
+
+
+def _family_estimator(
+    family: str,
+    predictor_name: str,
+    predictor,
+    workload: str,
+    iterations: Optional[int],
+):
+    """A fresh estimator instance for one bank family."""
+    if family == "jrs":
+        return JRSEstimator(threshold=15, enhanced=True)
+    if family == "satcnt":
+        return SaturatingCountersEstimator.for_predictor(
+            predictor, variant=McFarlingVariant.BOTH_STRONG
+        )
+    if family == "satcnt-either":
+        return SaturatingCountersEstimator.for_predictor(
+            predictor, variant=McFarlingVariant.EITHER_STRONG
+        )
+    if family == "pattern":
+        return PatternHistoryEstimator.for_predictor(predictor)
+    if family == "static":
+        return StaticEstimator(
+            _static_sites(workload, predictor_name, iterations), 0.90
+        )
+    if family == "distance":
+        return MispredictionDistanceEstimator(4)
+    if family == "boosted-distance":
+        return BoostedEstimator(MispredictionDistanceEstimator(4), k=2)
+    raise KeyError(
+        f"unknown estimator family {family!r};"
+        f" available: {', '.join(BANK_FAMILIES)}"
+    )
+
+
+def _bank_subsumes(families: Tuple[str, ...]) -> int:
+    """How many single-purpose measure passes one bank pass replaces.
+
+    Pre-bank, each consumer group paid its own trace pass per
+    (workload, predictor): the Table 2 standard quartet, Table 3's
+    saturating-counter variants, Table 1's accuracy-only measurement
+    and the distance-estimator variants.  The bank folds every group
+    present in ``families`` into one pass.
+    """
+    present = set(families)
+    passes = 0
+    if set(STANDARD_FAMILIES) <= present:
+        passes += 1
+    if "satcnt-either" in present:
+        passes += 1
+    if "accuracy" in present:
+        passes += 1
+    if present & {"distance", "boosted-distance"}:
+        passes += 1
+    return max(passes, 1)
+
+
+def _compute_measurement_cell(
+    predictor_name: str,
+    workload: str,
+    iterations: Optional[int],
+    families: Tuple[str, ...],
+) -> MeasurementCell:
     trace = _trace(workload, iterations)
     predictor = make_predictor(predictor_name)
-    scale = Scale(iterations=iterations)
-    estimators = standard_estimators(predictor_name, predictor, workload, scale)
-    result = measure(trace, predictor, estimators)
-    return result.quadrants, result.accuracy
+    estimators = {
+        family: _family_estimator(
+            family, predictor_name, predictor, workload, iterations
+        )
+        for family in BANK_FAMILIES
+        if family in families and family != "accuracy"
+    }
+    result = measure_bank(
+        trace, predictor, estimators, subsumes=_bank_subsumes(families)
+    )
+    return MeasurementCell(
+        predictor=predictor_name,
+        workload=workload,
+        families=families,
+        quadrants=result.quadrants,
+        accuracy=result.accuracy,
+        branches=result.branches,
+        mispredictions=result.mispredictions,
+    )
 
 
 @lru_cache(maxsize=512)
+def measurement_cell(
+    predictor_name: str,
+    workload: str,
+    iterations: Optional[int],
+    families: Tuple[str, ...],
+) -> MeasurementCell:
+    """The estimator-bank measurement of one (predictor, workload) pair.
+
+    This is the unit the DAG's ``measurement`` artifacts map to and the
+    parallel warm waves fan out over; memoised in process and persisted
+    in the artifact cache keyed by the exact family set.
+    """
+    families = tuple(families)
+    return get_cache().cached(
+        "measurement",
+        lambda: _compute_measurement_cell(
+            predictor_name, workload, iterations, families
+        ),
+        predictor=predictor_name,
+        workload=workload,
+        iterations=iterations,
+        families=list(families),
+        profile=profile_fingerprint(workload),
+    )
+
+
+#: The battery-wide measurement plan, installed by the runner/workers:
+#: predictor -> union of families every selected experiment wants, so
+#: all of them share one bank cell per (workload, predictor) pair.
+_ACTIVE_PLAN: Dict[str, Tuple[str, ...]] = {}
+
+
+def activate_measurement_plan(plan) -> None:
+    """Install a battery-wide family plan (``measurement_plan`` output)."""
+    _ACTIVE_PLAN.clear()
+    _ACTIVE_PLAN.update(
+        {predictor: tuple(families) for predictor, families in plan}
+    )
+
+
+def deactivate_measurement_plan() -> None:
+    _ACTIVE_PLAN.clear()
+
+
+def bank_families(predictor_name: str, need: Sequence[str]) -> Tuple[str, ...]:
+    """The family set to measure for ``predictor_name``.
+
+    Under an active battery plan that covers ``need``, the plan's union
+    (so every consumer shares one cell); otherwise just ``need`` --
+    a standalone ``repro run tab3`` never over-computes.
+    """
+    needed = tuple(sorted(set(need)))
+    planned = _ACTIVE_PLAN.get(predictor_name)
+    if planned is not None and set(needed) <= set(planned):
+        return planned
+    return needed
+
+
+def _measurement(
+    predictor_name: str,
+    workload: str,
+    iterations: Optional[int],
+    need: Sequence[str],
+) -> MeasurementCell:
+    return measurement_cell(
+        predictor_name, workload, iterations, bank_families(predictor_name, need)
+    )
+
+
 def table2_workload(
     predictor_name: str, workload: str, iterations: Optional[int]
 ) -> Tuple[Dict[str, QuadrantCounts], float]:
     """Standard-estimator quadrants + accuracy for one (predictor,
-    workload) cell -- the unit the parallel warm phase fans out over."""
-    return get_cache().cached(
-        "table2",
-        lambda: _compute_table2_workload(predictor_name, workload, iterations),
-        predictor=predictor_name,
-        workload=workload,
-        iterations=iterations,
-        estimators=ESTIMATOR_ORDER,
-        profile=profile_fingerprint(workload),
-    )
+    workload) cell, served from the estimator bank."""
+    cell = _measurement(predictor_name, workload, iterations, STANDARD_FAMILIES)
+    quadrants = {name: cell.quadrants[name] for name in ESTIMATOR_ORDER}
+    return quadrants, cell.accuracy
 
 
 def _table2_measurements(predictor_name: str, scale_key, workloads: Tuple[str, ...]):
@@ -284,7 +479,7 @@ def clear_memoised() -> None:
     _trace.cache_clear()
     _static_sites.cache_clear()
     _pipeline_result.cache_clear()
-    table2_workload.cache_clear()
+    measurement_cell.cache_clear()
     clear_speculation_memoised()
 
 
@@ -335,9 +530,10 @@ def experiment_table1(scale: Scale = FULL) -> ExperimentResult:
     accuracies = {}
     for workload in scale.workloads:
         run = workload_run(workload, scale.iterations)
-        trace = run.trace
         accs = {
-            name: measure_accuracy(trace, make_predictor(name)).accuracy
+            name: _measurement(
+                name, workload, scale.iterations, ("accuracy",)
+            ).accuracy
             for name in PREDICTORS
         }
         accuracies[workload] = accs
@@ -591,19 +787,11 @@ def experiment_table3(scale: Scale = FULL) -> ExperimentResult:
     both_quadrants = []
     either_quadrants = []
     for workload in scale.workloads:
-        trace = _trace(workload, scale.iterations)
-        predictor = make_predictor("mcfarling")
-        estimators = {
-            "both": SaturatingCountersEstimator.for_predictor(
-                predictor, McFarlingVariant.BOTH_STRONG
-            ),
-            "either": SaturatingCountersEstimator.for_predictor(
-                predictor, McFarlingVariant.EITHER_STRONG
-            ),
-        }
-        measured = measure(trace, predictor, estimators)
-        both = measured.quadrants["both"]
-        either = measured.quadrants["either"]
+        cell = _measurement(
+            "mcfarling", workload, scale.iterations, ("satcnt", "satcnt-either")
+        )
+        both = cell.quadrants["satcnt"]
+        either = cell.quadrants["satcnt-either"]
         both_quadrants.append(both)
         either_quadrants.append(either)
         table.add_row(
@@ -919,40 +1107,202 @@ def experiment_boosting(scale: Scale = FULL) -> ExperimentResult:
 
 
 # ----------------------------------------------------------------------
-# registry
+# registry: every paper experiment declares itself as a spec
 # ----------------------------------------------------------------------
 
-EXPERIMENTS: Dict[str, Callable[[Scale], ExperimentResult]] = {
-    "fig1": experiment_figure1,
-    "tab1": experiment_table1,
-    "tab2": experiment_table2,
-    "tab2d": experiment_table2_detail,
-    "fig3": experiment_figure3,
-    "fig4": experiment_figure4,
-    "fig5": experiment_figure5,
-    "tab3": experiment_table3,
-    "fig6": experiment_figure6,
-    "fig7": experiment_figure7,
-    "fig8": experiment_figure8,
-    "fig9": experiment_figure9,
-    "tab4": experiment_table4,
-    "boost": experiment_boosting,
-}
+#: Shorthands for the artifact dependencies the paper battery shares.
+_TRACE = ArtifactDep(kind="trace")
 
-# Loading the speculation-control battery registers its experiments in
-# EXPERIMENTS (see the bottom of harness/speculation.py); the module
-# imports the scaffolding above, so it must load after EXPERIMENTS
-# exists, whichever of the two modules is imported first.
+
+def _measurement_deps(
+    predictors: Sequence[str], families: Tuple[str, ...]
+) -> Tuple[ArtifactDep, ...]:
+    return tuple(
+        ArtifactDep(kind="measurement", predictor=name, families=families)
+        for name in predictors
+    )
+
+
+def _pipeline_deps(predictors: Sequence[str]) -> Tuple[ArtifactDep, ...]:
+    return tuple(
+        ArtifactDep(kind="pipeline", predictor=name) for name in predictors
+    )
+
+
+for _spec in (
+    ExperimentSpec(
+        experiment_id="fig1",
+        title="Parametric PVP/PVN vs SENS, SPEC and accuracy",
+        run=experiment_figure1,
+        section="paper",
+        order=10,
+        paper_ref="Figure 1",
+        produces=(),
+        deps=(),
+        plot=True,
+    ),
+    ExperimentSpec(
+        experiment_id="tab1",
+        title="Program characteristics",
+        run=experiment_table1,
+        section="paper",
+        order=20,
+        paper_ref="Table 1",
+        produces=("trace", "pipeline", "measurement"),
+        deps=(_TRACE,)
+        + _pipeline_deps(("gshare",))
+        + _measurement_deps(PREDICTORS, ("accuracy",)),
+    ),
+    ExperimentSpec(
+        experiment_id="tab2",
+        title="Confidence estimator comparison (suite averages)",
+        run=experiment_table2,
+        section="paper",
+        order=30,
+        paper_ref="Table 2",
+        produces=("trace", "measurement"),
+        deps=(_TRACE,) + _measurement_deps(PREDICTORS, STANDARD_FAMILIES),
+    ),
+    ExperimentSpec(
+        experiment_id="tab2d",
+        title="Per-application estimator detail with intervals",
+        run=experiment_table2_detail,
+        section="paper",
+        order=40,
+        paper_ref="Table 2 (tech-report detail)",
+        produces=("trace", "measurement"),
+        deps=(_TRACE,) + _measurement_deps(PREDICTORS, STANDARD_FAMILIES),
+    ),
+    ExperimentSpec(
+        experiment_id="fig3",
+        title="Enhanced JRS confidence estimator",
+        run=experiment_figure3,
+        section="paper",
+        order=50,
+        paper_ref="Figure 3",
+        produces=("trace",),
+        deps=(_TRACE,),
+        plot=True,
+    ),
+    ExperimentSpec(
+        experiment_id="fig4",
+        title="JRS design space on gshare (Figure 4)",
+        run=experiment_figure4,
+        section="paper",
+        order=60,
+        paper_ref="Figure 4",
+        produces=("trace",),
+        deps=(_TRACE,),
+        plot=True,
+    ),
+    ExperimentSpec(
+        experiment_id="fig5",
+        title="JRS design space on McFarling (Figure 5)",
+        run=experiment_figure5,
+        section="paper",
+        order=70,
+        paper_ref="Figure 5",
+        produces=("trace",),
+        deps=(_TRACE,),
+        plot=True,
+    ),
+    ExperimentSpec(
+        experiment_id="tab3",
+        title="Saturating-counter variants on McFarling",
+        run=experiment_table3,
+        section="paper",
+        order=80,
+        paper_ref="Table 3",
+        produces=("trace", "measurement"),
+        deps=(_TRACE,)
+        + _measurement_deps(("mcfarling",), ("satcnt", "satcnt-either")),
+    ),
+    ExperimentSpec(
+        experiment_id="fig6",
+        title="Figure 6: precise misprediction distance (gshare)",
+        run=experiment_figure6,
+        section="paper",
+        order=90,
+        paper_ref="Figure 6",
+        produces=("trace", "pipeline"),
+        deps=(_TRACE,) + _pipeline_deps(("gshare",)),
+        plot=True,
+    ),
+    ExperimentSpec(
+        experiment_id="fig7",
+        title="Figure 7: precise misprediction distance (McFarling)",
+        run=experiment_figure7,
+        section="paper",
+        order=100,
+        paper_ref="Figure 7",
+        produces=("trace", "pipeline"),
+        deps=(_TRACE,) + _pipeline_deps(("mcfarling",)),
+        plot=True,
+    ),
+    ExperimentSpec(
+        experiment_id="fig8",
+        title="Figure 8: perceived misprediction distance (gshare)",
+        run=experiment_figure8,
+        section="paper",
+        order=110,
+        paper_ref="Figure 8",
+        produces=("trace", "pipeline"),
+        deps=(_TRACE,) + _pipeline_deps(("gshare",)),
+        plot=True,
+    ),
+    ExperimentSpec(
+        experiment_id="fig9",
+        title="Figure 9: perceived misprediction distance (McFarling)",
+        run=experiment_figure9,
+        section="paper",
+        order=120,
+        paper_ref="Figure 9",
+        produces=("trace", "pipeline"),
+        deps=(_TRACE,) + _pipeline_deps(("mcfarling",)),
+        plot=True,
+    ),
+    ExperimentSpec(
+        experiment_id="tab4",
+        title="Misprediction distance as confidence estimator",
+        run=experiment_table4,
+        section="paper",
+        order=130,
+        paper_ref="Table 4",
+        produces=("trace", "measurement"),
+        deps=(_TRACE,)
+        + _measurement_deps(("gshare", "mcfarling", "sag"), STANDARD_FAMILIES),
+    ),
+    ExperimentSpec(
+        experiment_id="boost",
+        title="Mis-estimation clustering and confidence boosting",
+        run=experiment_boosting,
+        section="paper",
+        order=140,
+        paper_ref="Section 4.2",
+        produces=("trace",),
+        deps=(_TRACE,),
+    ),
+):
+    SPECS.register(_spec)
+
+#: Read-only ``id -> run function`` view over the registry, kept for
+#: callers that predate the spec refactor.
+EXPERIMENTS = ExperimentFunctions(SPECS)
+
+# Loading the speculation-control battery registers its specs in SPECS
+# (see the bottom of harness/speculation.py); the module imports the
+# scaffolding above, so it must load after this module's registrations
+# have run, whichever of the two modules is imported first.
 from . import speculation as _speculation  # noqa: E402,F401
 
 
 def run_experiment(experiment_id: str, scale: Scale = FULL) -> ExperimentResult:
-    """Run one experiment by id (see :data:`EXPERIMENTS`)."""
+    """Run one experiment by id (see :data:`repro.harness.spec.SPECS`)."""
     try:
-        function = EXPERIMENTS[experiment_id]
+        spec = SPECS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
-            f"available: {', '.join(EXPERIMENTS)}"
+            f"available: {', '.join(SPECS)}"
         ) from None
-    return function(scale)
+    return spec.run(scale)

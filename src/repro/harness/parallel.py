@@ -75,42 +75,22 @@ from ..obs.registry import REGISTRY, MetricsSnapshot
 from .checkpoint import store_checkpoint
 from .experiments import (
     EXPERIMENTS,
-    PREDICTORS,
     ExperimentResult,
     Scale,
     _pipeline_result,
     _trace,
+    activate_measurement_plan,
+    deactivate_measurement_plan,
+    measurement_cell,
     run_experiment,
-    table2_workload,
 )
-from .speculation import (
-    GATE_THRESHOLDS,
-    SPECULATION_ESTIMATORS,
-    eager_cell,
-    gating_cell,
-    inversion_cell,
-)
+from .spec import SPECS, ArtifactNode, measurement_plan, topological_levels
+from .speculation import eager_cell, gating_cell, inversion_cell
 
 Journal = Optional[object]  # RunJournal | NullJournal; kwarg convenience
 
-#: Experiments that run the cycle-level pipeline, and on which predictors.
-_PIPELINE_PREDICTORS: Dict[str, Tuple[str, ...]] = {
-    "tab1": ("gshare",),
-    "fig6": ("gshare",),
-    "fig7": ("mcfarling",),
-    "fig8": ("gshare",),
-    "fig9": ("mcfarling",),
-}
-
-#: Experiments built on the standard-estimator measurement grid.
-_TABLE2_PREDICTORS: Dict[str, Tuple[str, ...]] = {
-    "tab2": PREDICTORS,
-    "tab2d": PREDICTORS,
-    "tab4": ("gshare", "mcfarling", "sag"),
-}
-
-#: Experiments that need no simulation at all.
-_NO_TRACE = frozenset({"fig1"})
+#: ``measurement_plan`` output: per-predictor estimator-family unions.
+MeasurementPlan = Tuple[Tuple[str, Tuple[str, ...]], ...]
 
 #: Legacy fault-injection hook, now an alias into :mod:`repro.faults`:
 #: a comma-separated list of experiment ids whose workers crash.
@@ -182,76 +162,129 @@ def backoff_from_env() -> float:
 WarmTask = Tuple[str, Tuple]
 
 
-def plan_warm_tasks(
-    selected: Sequence[str], scale: Scale
-) -> Tuple[List[WarmTask], List[WarmTask]]:
-    """The artifact warm-up plan for ``selected`` at ``scale``.
+def _plan_families(
+    selected: Sequence[str],
+    measurement_families: Optional[MeasurementPlan],
+) -> Dict[str, Tuple[str, ...]]:
+    """Per-predictor family unions governing the measurement cells."""
+    if measurement_families is None:
+        measurement_families = measurement_plan(
+            SPECS[eid] for eid in selected if eid in SPECS
+        )
+    return {
+        predictor: tuple(families)
+        for predictor, families in measurement_families
+    }
 
-    Returns ``(trace_tasks, heavy_tasks)``; heavy tasks assume the
-    traces already exist (wave 1 runs to completion first).
+
+def plan_artifact_nodes(
+    selected: Sequence[str],
+    scale: Scale,
+    measurement_families: Optional[MeasurementPlan] = None,
+) -> List[ArtifactNode]:
+    """The artifact-dependency DAG ``selected`` needs at ``scale``.
+
+    Every spec's declared :class:`~repro.harness.spec.ArtifactDep` list
+    is expanded over the scale's workloads into concrete
+    :class:`~repro.harness.spec.ArtifactNode` keys (the exact argument
+    tuples the warm workers run), deduplicated across experiments.
+    Measurement nodes carry the battery-wide per-predictor family union
+    (``measurement_families``, computed from the selection when not
+    given), so every consumer of a (workload, predictor) pair shares
+    one estimator-bank cell.
     """
-    trace_tasks: Dict[WarmTask, None] = {}
-    heavy_tasks: Dict[WarmTask, None] = {}
-    needs_trace = any(eid not in _NO_TRACE for eid in selected)
-    if needs_trace:
-        for workload in scale.workloads:
-            trace_tasks[("trace", (workload, scale.iterations))] = None
+    families_by_predictor = _plan_families(selected, measurement_families)
+    nodes: Dict[Tuple[str, Tuple], ArtifactNode] = {}
+
+    def add(kind: str, args: Tuple, deps: Tuple = ()) -> Tuple[str, Tuple]:
+        key = (kind, args)
+        if key not in nodes:
+            nodes[key] = ArtifactNode(key=key, deps=deps)
+        return key
+
     for experiment_id in selected:
-        for predictor in _PIPELINE_PREDICTORS.get(experiment_id, ()):
+        spec = SPECS.get(experiment_id)
+        if spec is None:
+            continue
+        for dep in spec.deps:
             for workload in scale.workloads:
-                heavy_tasks[
-                    (
+                trace = add("trace", (workload, scale.iterations))
+                if dep.kind == "trace":
+                    continue
+                if dep.kind == "pipeline":
+                    add(
                         "pipeline",
                         (
                             workload,
-                            predictor,
+                            dep.predictor,
                             scale.iterations,
                             scale.pipeline_instructions,
                         ),
+                        deps=(trace,),
                     )
-                ] = None
-        for predictor in _TABLE2_PREDICTORS.get(experiment_id, ()):
-            for workload in scale.workloads:
-                heavy_tasks[
-                    ("table2", (predictor, workload, scale.iterations))
-                ] = None
-        if experiment_id == "speculation-gating":
-            for workload in scale.workloads:
-                for estimator in SPECULATION_ESTIMATORS:
-                    for threshold in GATE_THRESHOLDS:
-                        heavy_tasks[
-                            (
-                                "gating",
-                                (
-                                    workload,
-                                    estimator,
-                                    threshold,
-                                    scale.iterations,
-                                    scale.pipeline_instructions,
-                                ),
-                            )
-                        ] = None
-        elif experiment_id == "speculation-eager":
-            for workload in scale.workloads:
-                for estimator in SPECULATION_ESTIMATORS:
-                    heavy_tasks[
+                elif dep.kind == "measurement":
+                    families = families_by_predictor.get(
+                        dep.predictor, tuple(sorted(set(dep.families)))
+                    )
+                    add(
+                        "measurement",
+                        (dep.predictor, workload, scale.iterations, families),
+                        deps=(trace,),
+                    )
+                elif dep.kind == "gating":
+                    add(
+                        "gating",
                         (
-                            "eager",
-                            (
-                                workload,
-                                estimator,
-                                scale.iterations,
-                                scale.pipeline_instructions,
-                            ),
-                        )
-                    ] = None
-        elif experiment_id == "speculation-inversion":
-            for workload in scale.workloads:
-                for estimator in SPECULATION_ESTIMATORS:
-                    heavy_tasks[
-                        ("inversion", (workload, estimator, scale.iterations))
-                    ] = None
-    return list(trace_tasks), list(heavy_tasks)
+                            workload,
+                            dep.estimator,
+                            dep.threshold,
+                            scale.iterations,
+                            scale.pipeline_instructions,
+                        ),
+                        deps=(trace,),
+                    )
+                elif dep.kind == "eager":
+                    add(
+                        "eager",
+                        (
+                            workload,
+                            dep.estimator,
+                            scale.iterations,
+                            scale.pipeline_instructions,
+                        ),
+                        deps=(trace,),
+                    )
+                elif dep.kind == "inversion":
+                    add(
+                        "inversion",
+                        (workload, dep.estimator, scale.iterations),
+                        deps=(trace,),
+                    )
+    return list(nodes.values())
+
+
+def plan_warm_tasks(
+    selected: Sequence[str],
+    scale: Scale,
+    measurement_families: Optional[MeasurementPlan] = None,
+) -> Tuple[List[WarmTask], List[WarmTask]]:
+    """The artifact warm-up plan for ``selected`` at ``scale``.
+
+    Derived from the declared artifact DAG: tasks are grouped by
+    topological level, so a task only ever runs after the artifacts it
+    depends on exist.  Returns ``(trace_tasks, heavy_tasks)`` -- the
+    first level (the shared workload traces) and the flattened
+    remaining levels.
+    """
+    levels = topological_levels(
+        plan_artifact_nodes(selected, scale, measurement_families)
+    )
+    trace_tasks: List[WarmTask] = []
+    heavy_tasks: List[WarmTask] = []
+    for depth, level in enumerate(levels):
+        for node in level:
+            (trace_tasks if depth == 0 else heavy_tasks).append(node.key)
+    return trace_tasks, heavy_tasks
 
 
 # ----------------------------------------------------------------------
@@ -293,9 +326,9 @@ def _warm_worker(task: WarmTask) -> Tuple[CacheStats, MetricsSnapshot, float]:
     elif kind == "pipeline":
         workload, predictor, iterations, max_instructions = args
         _pipeline_result(workload, predictor, iterations, max_instructions)
-    elif kind == "table2":
-        predictor, workload, iterations = args
-        table2_workload(predictor, workload, iterations)
+    elif kind == "measurement":
+        predictor, workload, iterations, families = args
+        measurement_cell(predictor, workload, iterations, tuple(families))
     elif kind == "gating":
         gating_cell(*args)
     elif kind == "eager":
@@ -310,14 +343,18 @@ def _warm_worker(task: WarmTask) -> Tuple[CacheStats, MetricsSnapshot, float]:
 
 
 def _experiment_worker(
-    experiment_id: str, scale: Scale
+    experiment_id: str, scale: Scale, plan: MeasurementPlan = ()
 ) -> Tuple[ExperimentResult, float, CacheStats, MetricsSnapshot]:
     faults.active_faults().on_experiment(experiment_id)
-    baseline = _task_baseline()
-    started = time.perf_counter()
-    result = run_experiment(experiment_id, scale)
-    duration = time.perf_counter() - started
-    stats, metrics = _task_deltas(baseline)
+    activate_measurement_plan(plan)
+    try:
+        baseline = _task_baseline()
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, scale)
+        duration = time.perf_counter() - started
+        stats, metrics = _task_deltas(baseline)
+    finally:
+        deactivate_measurement_plan()
     return result, duration, stats, metrics
 
 
@@ -356,23 +393,35 @@ def _run_serially(
     selected: Iterable[str],
     scale: Scale,
     journal: Journal = None,
+    measurement_families: Optional[MeasurementPlan] = None,
 ) -> Dict[str, ExperimentResult]:
     journal = coalesce(journal)
     results: Dict[str, ExperimentResult] = {}
-    for experiment_id in selected:
-        journal.emit("experiment_started", experiment=experiment_id, mode="serial")
-        started = time.perf_counter()
-        with REGISTRY.timed(f"experiment.{experiment_id}"):
-            result = EXPERIMENTS[experiment_id](scale)
-        result.duration_s = time.perf_counter() - started
-        results[experiment_id] = result
-        store_checkpoint(experiment_id, scale, result)
-        journal.emit(
-            "experiment_finished",
-            experiment=experiment_id,
-            mode="serial",
-            duration_s=result.duration_s,
+    selected = list(selected)
+    if measurement_families is None:
+        measurement_families = measurement_plan(
+            SPECS[eid] for eid in selected if eid in SPECS
         )
+    activate_measurement_plan(measurement_families)
+    try:
+        for experiment_id in selected:
+            journal.emit(
+                "experiment_started", experiment=experiment_id, mode="serial"
+            )
+            started = time.perf_counter()
+            with REGISTRY.timed(f"experiment.{experiment_id}"):
+                result = EXPERIMENTS[experiment_id](scale)
+            result.duration_s = time.perf_counter() - started
+            results[experiment_id] = result
+            store_checkpoint(experiment_id, scale, result)
+            journal.emit(
+                "experiment_finished",
+                experiment=experiment_id,
+                mode="serial",
+                duration_s=result.duration_s,
+            )
+    finally:
+        deactivate_measurement_plan()
     return results
 
 
@@ -406,6 +455,7 @@ class _Supervisor:
         task_timeout: Optional[float],
         retries: int,
         backoff_s: float,
+        measurement_families: MeasurementPlan = (),
     ):
         self.selected = list(selected)
         self.scale = scale
@@ -414,6 +464,7 @@ class _Supervisor:
         self.task_timeout = task_timeout
         self.retries = retries
         self.backoff_s = backoff_s
+        self.plan: MeasurementPlan = tuple(measurement_families)
         self.results: Dict[str, ExperimentResult] = {}
         self.attempts: Dict[str, int] = {eid: 0 for eid in self.selected}
         self.pool: Optional[ProcessPoolExecutor] = None
@@ -485,7 +536,9 @@ class _Supervisor:
         recycles the pool and abandons the rest of the warm-up.
         """
         cache = artifact_cache.get_cache()
-        trace_tasks, heavy_tasks = plan_warm_tasks(self.selected, self.scale)
+        trace_tasks, heavy_tasks = plan_warm_tasks(
+            self.selected, self.scale, self.plan
+        )
         if not cache.enabled:
             return
         for wave in (trace_tasks, heavy_tasks):
@@ -592,7 +645,10 @@ class _Supervisor:
                     (
                         experiment_id,
                         self.pool.submit(
-                            _experiment_worker, experiment_id, self.scale
+                            _experiment_worker,
+                            experiment_id,
+                            self.scale,
+                            self.plan,
                         ),
                         time.monotonic(),
                     )
@@ -681,7 +737,12 @@ class _Supervisor:
             # experiments run serially in the parent, in selection
             # order, so the battery completes iff a serial run would
             self.results.update(
-                _run_serially(unresolved, self.scale, self.journal)
+                _run_serially(
+                    unresolved,
+                    self.scale,
+                    self.journal,
+                    measurement_families=self.plan,
+                )
             )
         return {eid: self.results[eid] for eid in self.selected}
 
@@ -694,21 +755,32 @@ def run_parallel(
     task_timeout: Optional[float] = None,
     retries: Optional[int] = None,
     backoff_s: Optional[float] = None,
+    measurement_families: Optional[MeasurementPlan] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run ``selected`` experiments with ``jobs`` supervised workers.
 
     Results are merged in the order of ``selected`` and carry
     ``duration_s`` stamps.  ``task_timeout``/``retries``/``backoff_s``
     default from ``REPRO_TASK_TIMEOUT``/``REPRO_TASK_RETRIES``/
-    ``REPRO_RETRY_BACKOFF``.  See the module docstring for the failure
-    model; the short version is that a failing, hanging or crashing
-    worker costs bounded retries of its own experiment, and the battery
-    completes whenever a serial run would.
+    ``REPRO_RETRY_BACKOFF``.  ``measurement_families`` is the
+    battery-wide estimator-bank plan (defaults to the plan derived from
+    ``selected``'s specs); workers install it so every experiment
+    shares one bank cell per (workload, predictor) pair.  See the
+    module docstring for the failure model; the short version is that a
+    failing, hanging or crashing worker costs bounded retries of its
+    own experiment, and the battery completes whenever a serial run
+    would.
     """
     journal = coalesce(journal)
     jobs = max(1, jobs)
+    if measurement_families is None:
+        measurement_families = measurement_plan(
+            SPECS[eid] for eid in selected if eid in SPECS
+        )
     if jobs == 1 or len(selected) == 0:
-        return _run_serially(selected, scale, journal)
+        return _run_serially(
+            selected, scale, journal, measurement_families=measurement_families
+        )
     supervisor = _Supervisor(
         selected,
         scale,
@@ -719,5 +791,6 @@ def run_parallel(
         ),
         retries=retries if retries is not None else retries_from_env(),
         backoff_s=backoff_s if backoff_s is not None else backoff_from_env(),
+        measurement_families=measurement_families,
     )
     return supervisor.run()

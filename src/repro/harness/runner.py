@@ -25,7 +25,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Union
 
-from ..engine import SIMULATION_COUNTERS, get_cache
+from ..engine import (
+    BRANCHES_METRIC,
+    PASSES_SAVED_METRIC,
+    REPLAY_TIMER,
+    get_cache,
+)
 from ..engine import cache as artifact_cache
 from ..obs.journal import (
     NullJournal,
@@ -36,6 +41,7 @@ from ..obs.journal import (
 from ..obs.registry import REGISTRY
 from .checkpoint import load_checkpoint
 from .experiments import EXPERIMENTS, FULL, ExperimentResult, Scale
+from .spec import SPECS, measurement_plan
 from .tables import TextTable
 
 Journal = Optional[object]  # RunJournal | NullJournal
@@ -176,6 +182,7 @@ def run_all(
     started = time.perf_counter()
     try:
         remaining = [eid for eid in selected if eid not in restored]
+        plan = measurement_plan(SPECS[eid] for eid in remaining)
         fresh = run_parallel(
             remaining,
             scale,
@@ -184,6 +191,7 @@ def run_all(
             task_timeout=task_timeout,
             retries=retries,
             backoff_s=backoff_s,
+            measurement_families=plan,
         )
     finally:
         if sink_installed:
@@ -224,12 +232,20 @@ def render_performance(
         total += result.duration_s
         table.add_row([experiment_id, f"{result.duration_s:8.3f}s"])
     table.add_row(["total (sum)", f"{total:8.3f}s"])
-    counters = SIMULATION_COUNTERS
-    if counters.branches:
+    branches = int(REGISTRY.counter_value(BRANCHES_METRIC))
+    if branches:
+        seconds = REGISTRY.timer_value(REPLAY_TIMER).seconds
+        rate = branches / seconds if seconds > 0 else 0.0
         table.add_note(
-            f"simulated {counters.branches:,} branches in"
-            f" {counters.seconds:.3f}s"
-            f" ({counters.branches_per_second:,.0f} branches/s)"
+            f"simulated {branches:,} branches in"
+            f" {seconds:.3f}s"
+            f" ({rate:,.0f} branches/s)"
+        )
+    passes_saved = int(REGISTRY.counter_value(PASSES_SAVED_METRIC))
+    if passes_saved:
+        table.add_note(
+            f"estimator bank subsumed {passes_saved} single-purpose"
+            " measurement pass(es) (session.passes_saved)"
         )
     stats = get_cache().stats
     lookups = stats.hits + stats.misses
@@ -362,8 +378,15 @@ def render_report(
         f"workloads={','.join(scale.workloads)}",
         "",
     ]
-    for experiment_id, result in results.items():
-        lines.append(result.to_text())
+    positions = {eid: index for index, eid in enumerate(results)}
+
+    def _render_key(experiment_id: str):
+        spec = SPECS.get(experiment_id)
+        order = spec.order if spec is not None else float("inf")
+        return (order, positions[experiment_id])
+
+    for experiment_id in sorted(results, key=_render_key):
+        lines.append(results[experiment_id].to_text())
         lines.append("")
     speculation = render_speculation_control(results)
     if speculation:

@@ -1,0 +1,280 @@
+"""Declarative experiment specs and the shared-artifact dependency DAG.
+
+This module is the harness's single source of truth about *what* the
+battery contains.  Each paper table/figure (and each speculation-control
+experiment) is described by a frozen :class:`ExperimentSpec`: its id,
+report section and order, the artifact kinds it produces, and -- most
+importantly -- the shared artifacts it **depends on**
+(:class:`ArtifactDep`): workload traces, pipeline branch streams,
+estimator-bank measurements, speculation cells.
+
+Execution layers consume the specs instead of hardcoding knowledge:
+
+* :mod:`repro.harness.parallel` expands the declared deps into an
+  :class:`ArtifactNode` graph and derives its warm-up waves by
+  topological level (:func:`topological_levels`);
+* :func:`measurement_plan` unions the measurement families every
+  selected experiment wants per predictor, which is what lets the
+  estimator bank (:func:`repro.engine.measure.measure_bank`) simulate
+  each (workload, predictor) pair exactly once per battery;
+* :mod:`repro.harness.checkpoint` folds the declared deps into the
+  checkpoint key, so a spec change invalidates stale checkpoints;
+* :mod:`repro.harness.runner` renders report sections in spec order;
+* :mod:`repro.cli` builds ``repro list`` and the plottable set from the
+  registry.
+
+Both :mod:`repro.harness.experiments` and
+:mod:`repro.harness.speculation` register into the process-wide
+:data:`SPECS` registry declaratively; registering an id twice raises a
+``ValueError`` naming both registrants (previously a re-import would
+silently overwrite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+#: Dependency kinds the planner knows how to expand (one artifact per
+#: workload of the scale for every kind).
+DEP_KINDS = ("trace", "pipeline", "measurement", "gating", "eager", "inversion")
+
+
+@dataclass(frozen=True)
+class ArtifactDep:
+    """One declared dependency on a shared, cacheable artifact.
+
+    ``kind`` selects the artifact family; the other fields parameterise
+    it (which fields apply depends on the kind):
+
+    * ``trace`` -- the committed branch stream of each workload;
+    * ``pipeline`` -- a cycle-level pipeline run (``predictor``);
+    * ``measurement`` -- an estimator-bank measurement (``predictor``,
+      ``families``; see :data:`repro.harness.experiments.BANK_FAMILIES`);
+    * ``gating`` / ``eager`` / ``inversion`` -- speculation-control
+      cells (``estimator``, and ``threshold`` for gating).
+    """
+
+    kind: str
+    predictor: Optional[str] = None
+    families: Tuple[str, ...] = ()
+    estimator: Optional[str] = None
+    threshold: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DEP_KINDS:
+            raise ValueError(
+                f"unknown artifact dependency kind {self.kind!r};"
+                f" expected one of {', '.join(DEP_KINDS)}"
+            )
+
+    def key_parts(self) -> Tuple:
+        """Stable, JSON-representable identity (checkpoint fingerprints)."""
+        return (
+            self.kind,
+            self.predictor,
+            list(self.families),
+            self.estimator,
+            self.threshold,
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything the harness needs to know about one experiment."""
+
+    experiment_id: str
+    #: One-line summary (``repro list``).
+    title: str
+    #: ``(scale) -> ExperimentResult``.
+    run: Callable
+    #: Report section key (``paper`` or ``speculation``).
+    section: str
+    #: Position within the report; the battery renders ascending.
+    order: int
+    #: Human label of the reproduced paper artifact (README table).
+    paper_ref: str = ""
+    #: Artifact-cache kinds this experiment's cold execution writes.
+    produces: Tuple[str, ...] = ()
+    #: Shared artifacts the experiment reads (drives the warm-up DAG).
+    deps: Tuple[ArtifactDep, ...] = ()
+    #: Whether ``repro plot`` can chart it.
+    plot: bool = False
+
+    def dep_kinds(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(dep.kind for dep in self.deps))
+
+
+#: Report sections in render order, with their human headings.
+SECTIONS: Dict[str, str] = {
+    "paper": "Paper tables and figures",
+    "speculation": "Speculation control",
+}
+
+
+class SpecRegistry(Mapping):
+    """Ordered ``experiment id -> ExperimentSpec`` registry.
+
+    A mapping (so legacy ``EXPERIMENTS``-style callers keep working via
+    :class:`ExperimentFunctions`) with one extra rule: each id registers
+    exactly once.  A second registration raises a ``ValueError`` naming
+    both registrants, which turns the old silent-overwrite hazard into
+    a loud import-time failure.
+    """
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ExperimentSpec] = {}
+        self._registrants: Dict[str, str] = {}
+
+    def register(
+        self, spec: ExperimentSpec, registrant: Optional[str] = None
+    ) -> ExperimentSpec:
+        """Add ``spec``; ``registrant`` defaults to ``spec.run.__module__``."""
+        registrant = registrant or getattr(spec.run, "__module__", "<unknown>")
+        existing = self._registrants.get(spec.experiment_id)
+        if existing is not None:
+            raise ValueError(
+                f"experiment id {spec.experiment_id!r} is already registered"
+                f" by {existing}; refusing duplicate registration by"
+                f" {registrant}"
+            )
+        self._specs[spec.experiment_id] = spec
+        self._registrants[spec.experiment_id] = registrant
+        return spec
+
+    def registrant(self, experiment_id: str) -> Optional[str]:
+        return self._registrants.get(experiment_id)
+
+    def in_order(self) -> List[ExperimentSpec]:
+        """All specs sorted by declared report order (ties by id)."""
+        return sorted(
+            self._specs.values(), key=lambda spec: (spec.order, spec.experiment_id)
+        )
+
+    def by_section(self) -> Dict[str, List[ExperimentSpec]]:
+        """Specs grouped by section, each group in report order."""
+        grouped: Dict[str, List[ExperimentSpec]] = {}
+        for spec in self.in_order():
+            grouped.setdefault(spec.section, []).append(spec)
+        return grouped
+
+    # -- Mapping interface ---------------------------------------------
+
+    def __getitem__(self, experiment_id: str) -> ExperimentSpec:
+        return self._specs[experiment_id]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(
+            spec.experiment_id for spec in self.in_order()
+        )
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+class ExperimentFunctions(Mapping):
+    """Read-only ``id -> run callable`` view over a :class:`SpecRegistry`.
+
+    The legacy ``EXPERIMENTS`` dict surface: iteration, membership,
+    ``[...]`` and ``.items()`` all work, but there is no ``update`` --
+    new experiments register an :class:`ExperimentSpec` instead.
+    """
+
+    def __init__(self, registry: SpecRegistry) -> None:
+        self._registry = registry
+
+    def __getitem__(self, experiment_id: str) -> Callable:
+        return self._registry[experiment_id].run
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry)
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+
+#: The process-wide spec registry.  ``experiments.py`` registers the
+#: paper battery, ``speculation.py`` the speculation battery.
+SPECS = SpecRegistry()
+
+
+# ----------------------------------------------------------------------
+# the artifact dependency graph
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArtifactNode:
+    """One concrete artifact instance in the warm-up DAG.
+
+    ``key`` is ``(kind, args)`` -- exactly the warm-task tuple the
+    parallel workers execute -- and ``deps`` names the keys of
+    prerequisite nodes.  Dep keys absent from the planned node set are
+    treated as already satisfied (the artifact pre-exists or is cheap).
+    """
+
+    key: Tuple[str, Tuple]
+    deps: Tuple[Tuple[str, Tuple], ...] = field(default_factory=tuple)
+
+    @property
+    def kind(self) -> str:
+        return self.key[0]
+
+
+def topological_levels(
+    nodes: Sequence[ArtifactNode],
+) -> List[List[ArtifactNode]]:
+    """Group ``nodes`` into dependency levels (Kahn's algorithm).
+
+    Level ``i`` contains every node whose in-graph dependencies all sit
+    in levels ``< i``; input order is preserved within a level, so the
+    schedule is deterministic.  Raises ``ValueError`` on a cycle.
+    """
+    known = {node.key for node in nodes}
+    placed: set = set()
+    remaining = list(nodes)
+    levels: List[List[ArtifactNode]] = []
+    while remaining:
+        level = [
+            node
+            for node in remaining
+            if all(dep not in known or dep in placed for dep in node.deps)
+        ]
+        if not level:
+            cycle = ", ".join(repr(node.key) for node in remaining)
+            raise ValueError(f"artifact dependency cycle among: {cycle}")
+        levels.append(level)
+        placed.update(node.key for node in level)
+        remaining = [node for node in remaining if node.key not in placed]
+    return levels
+
+
+def measurement_plan(
+    specs: Iterable[ExperimentSpec],
+) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+    """Per-predictor union of measurement families ``specs`` request.
+
+    The returned plan -- ``((predictor, (family, ...)), ...)``, sorted
+    and picklable -- is what the estimator bank measures per (workload,
+    predictor) pair, so every selected experiment's families come out
+    of one trace pass.
+    """
+    union: Dict[str, set] = {}
+    for spec in specs:
+        for dep in spec.deps:
+            if dep.kind == "measurement" and dep.predictor is not None:
+                union.setdefault(dep.predictor, set()).update(dep.families)
+    return tuple(
+        (predictor, tuple(sorted(families)))
+        for predictor, families in sorted(union.items())
+    )

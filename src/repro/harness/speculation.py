@@ -51,7 +51,8 @@ from ..speculation import (
     compare_gating,
     evaluate_inversion,
 )
-from .experiments import EXPERIMENTS, FULL, ExperimentResult, Scale, _trace
+from .experiments import FULL, ExperimentResult, Scale, _trace
+from .spec import SPECS, ArtifactDep, ExperimentSpec
 from .tables import TextTable, pct1, spct1
 
 #: Estimator configurations the speculation battery sweeps.  The
@@ -561,6 +562,56 @@ SPECULATION_EXPERIMENTS: Dict[str, Callable[[Scale], ExperimentResult]] = {
 }
 
 # Self-registration keeps the import order flexible: whichever of
-# experiments.py / speculation.py loads first, the registry ends up
-# complete once both have executed.
-EXPERIMENTS.update(SPECULATION_EXPERIMENTS)
+# experiments.py / speculation.py loads first, the central SPECS
+# registry ends up complete once both have executed.  Each spec
+# declares the exact per-estimator (and per-threshold) cells the warm
+# waves must materialise.
+SPECS.register(
+    ExperimentSpec(
+        experiment_id="speculation-gating",
+        title="Pipeline gating on low-confidence branch count",
+        run=experiment_speculation_gating,
+        section="speculation",
+        order=150,
+        paper_ref="Section 2.2 (Manne et al.)",
+        produces=("trace", "gating"),
+        deps=(ArtifactDep(kind="trace"),)
+        + tuple(
+            ArtifactDep(kind="gating", estimator=estimator, threshold=threshold)
+            for estimator in SPECULATION_ESTIMATORS
+            for threshold in GATE_THRESHOLDS
+        ),
+    )
+)
+SPECS.register(
+    ExperimentSpec(
+        experiment_id="speculation-eager",
+        title="Selective eager (dual-path) execution on low confidence",
+        run=experiment_speculation_eager,
+        section="speculation",
+        order=160,
+        paper_ref="Section 2.2",
+        produces=("trace", "eager"),
+        deps=(ArtifactDep(kind="trace"),)
+        + tuple(
+            ArtifactDep(kind="eager", estimator=estimator)
+            for estimator in SPECULATION_ESTIMATORS
+        ),
+    )
+)
+SPECS.register(
+    ExperimentSpec(
+        experiment_id="speculation-inversion",
+        title="Prediction inversion on low confidence (negative result)",
+        run=experiment_speculation_inversion,
+        section="speculation",
+        order=170,
+        paper_ref="Section 2.2",
+        produces=("trace", "inversion"),
+        deps=(ArtifactDep(kind="trace"),)
+        + tuple(
+            ArtifactDep(kind="inversion", estimator=estimator)
+            for estimator in SPECULATION_ESTIMATORS
+        ),
+    )
+)

@@ -38,15 +38,15 @@ class TestWarmPlan:
         workloads = {args[0] for kind, args in trace_tasks}
         assert workloads == set(SMOKE.workloads)
 
-    def test_heavy_tasks_cover_pipeline_and_table2(self):
+    def test_heavy_tasks_cover_pipeline_and_measurement(self):
         __, heavy = plan_warm_tasks(["tab1", "fig7", "tab2"], SMOKE)
         kinds = {}
         for kind, args in heavy:
             kinds.setdefault(kind, []).append(args)
         pipeline_predictors = {args[1] for args in kinds["pipeline"]}
         assert pipeline_predictors == {"gshare", "mcfarling"}
-        table2_predictors = {args[0] for args in kinds["table2"]}
-        assert table2_predictors == {"gshare", "mcfarling", "sag"}
+        measurement_predictors = {args[0] for args in kinds["measurement"]}
+        assert measurement_predictors == {"gshare", "mcfarling", "sag"}
 
     def test_fig1_needs_nothing(self):
         trace_tasks, heavy = plan_warm_tasks(["fig1"], SMOKE)

@@ -1,0 +1,379 @@
+"""Spec registry, artifact DAG, estimator bank, and bench contract.
+
+The declarative layer's guarantees, each pinned by a test:
+
+* the registry holds the whole battery, refuses duplicate ids, and the
+  legacy ``EXPERIMENTS`` surface is a read-only view over it;
+* warm-up waves derived from the declared artifact DAG reproduce the
+  legacy hardcoded schedule exactly (trace wave + heavy wave);
+* one estimator-bank pass yields per-family quadrants and accuracy
+  identical to dedicated single-estimator ``measure`` passes for every
+  (workload, predictor, family) triple at smoke scale;
+* a cold battery records ``session.passes_saved > 0`` in the journal's
+  ``metrics_snapshot``;
+* ``repro bench --json`` emits the documented schema;
+* the README battery table matches ``repro list --markdown``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import battery_table_markdown, main
+from repro.engine import cache as artifact_cache
+from repro.engine import clear_cache
+from repro.engine.measure import measure, measure_accuracy
+from repro.harness import (
+    EXPERIMENTS,
+    SMOKE,
+    SPECS,
+    ArtifactDep,
+    ArtifactNode,
+    ExperimentSpec,
+    clear_memoised,
+    measurement_cell,
+    measurement_plan,
+    plan_artifact_nodes,
+    plan_warm_tasks,
+    run_all,
+    spec_fingerprint,
+    topological_levels,
+)
+from repro.harness.experiments import (
+    BANK_FAMILIES,
+    PREDICTORS,
+    STANDARD_FAMILIES,
+    _family_estimator,
+    _trace,
+)
+from repro.harness.spec import SECTIONS, SpecRegistry
+from repro.harness.speculation import (
+    GATE_THRESHOLDS,
+    SPECULATION_BATTERY,
+    SPECULATION_ESTIMATORS,
+)
+from repro.obs.journal import RunJournal, read_journal
+from repro.predictors import make_predictor
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path):
+    """A fresh disk cache + empty in-process memo tier."""
+    previous_root = artifact_cache.get_cache().root
+    previous_enabled = artifact_cache.get_cache().enabled
+    artifact_cache.configure(root=tmp_path / "cache", enabled=True)
+    clear_memoised()
+    clear_cache()
+    yield artifact_cache.get_cache()
+    artifact_cache.configure(root=previous_root, enabled=previous_enabled)
+    clear_memoised()
+    clear_cache()
+
+
+def _spec(experiment_id="demo", order=1, **kwargs):
+    defaults = dict(
+        title="demo",
+        run=lambda scale: None,
+        section="paper",
+    )
+    defaults.update(kwargs)
+    return ExperimentSpec(experiment_id=experiment_id, order=order, **defaults)
+
+
+class TestSpecRegistry:
+    def test_registry_covers_the_whole_battery(self):
+        assert len(SPECS) == 17
+        assert set(SPECS) == set(EXPERIMENTS)
+        assert set(SPECULATION_BATTERY) <= set(SPECS)
+
+    def test_iteration_is_report_order(self):
+        orders = [SPECS[eid].order for eid in SPECS]
+        assert orders == sorted(orders)
+        sections = [SPECS[eid].section for eid in SPECS]
+        # paper experiments render before speculation control
+        assert sections.index("speculation") == len(
+            [s for s in sections if s == "paper"]
+        )
+
+    def test_by_section_uses_known_sections(self):
+        grouped = SPECS.by_section()
+        assert set(grouped) <= set(SECTIONS)
+        assert [s.experiment_id for s in grouped["speculation"]] == list(
+            SPECULATION_BATTERY
+        )
+
+    def test_registrants_recorded(self):
+        assert SPECS.registrant("tab2") == "repro.harness.experiments"
+        assert (
+            SPECS.registrant("speculation-gating")
+            == "repro.harness.speculation"
+        )
+
+    def test_duplicate_registration_names_both_registrants(self):
+        registry = SpecRegistry()
+        registry.register(_spec(), registrant="first.module")
+        with pytest.raises(ValueError) as excinfo:
+            registry.register(_spec(), registrant="second.module")
+        message = str(excinfo.value)
+        assert "first.module" in message
+        assert "second.module" in message
+        assert "'demo'" in message
+
+    def test_experiments_view_is_read_only(self):
+        assert EXPERIMENTS["tab2"] is SPECS["tab2"].run
+        assert not hasattr(EXPERIMENTS, "update")
+        with pytest.raises(TypeError):
+            EXPERIMENTS["new"] = lambda scale: None
+
+    def test_unknown_dep_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown artifact dependency"):
+            ArtifactDep(kind="nope")
+
+
+class TestTopologicalLevels:
+    def _node(self, name, *deps):
+        return ArtifactNode(
+            key=(name, ()), deps=tuple((dep, ()) for dep in deps)
+        )
+
+    def test_diamond_levels(self):
+        nodes = [
+            self._node("d", "b", "c"),
+            self._node("b", "a"),
+            self._node("c", "a"),
+            self._node("a"),
+        ]
+        levels = topological_levels(nodes)
+        assert [[n.key[0] for n in level] for level in levels] == [
+            ["a"],
+            ["b", "c"],
+            ["d"],
+        ]
+
+    def test_input_order_preserved_within_a_level(self):
+        nodes = [self._node("z"), self._node("a"), self._node("m")]
+        (level,) = topological_levels(nodes)
+        assert [n.key[0] for n in level] == ["z", "a", "m"]
+
+    def test_absent_deps_count_as_satisfied(self):
+        levels = topological_levels([self._node("only", "not-planned")])
+        assert len(levels) == 1
+
+    def test_cycle_raises(self):
+        with pytest.raises(ValueError, match="cycle"):
+            topological_levels(
+                [self._node("a", "b"), self._node("b", "a")]
+            )
+
+
+class TestMeasurementPlan:
+    def test_full_battery_unions_per_predictor(self):
+        plan = dict(measurement_plan(SPECS[eid] for eid in SPECS))
+        standard = tuple(sorted(("accuracy",) + STANDARD_FAMILIES))
+        assert plan["gshare"] == standard
+        assert plan["sag"] == standard
+        assert plan["mcfarling"] == tuple(
+            sorted(standard + ("satcnt-either",))
+        )
+
+    def test_single_experiment_plan_is_minimal(self):
+        plan = dict(measurement_plan([SPECS["tab3"]]))
+        assert plan == {"mcfarling": ("satcnt", "satcnt-either")}
+
+
+class TestWarmPlanLegacyEquivalence:
+    """The DAG-derived schedule equals the old hardcoded waves."""
+
+    def _heavy_by_kind(self, selected):
+        __, heavy = plan_warm_tasks(selected, SMOKE)
+        kinds = {}
+        for kind, args in heavy:
+            kinds.setdefault(kind, set()).add(args)
+        return kinds
+
+    def test_trace_wave_is_the_workload_set(self):
+        trace_tasks, __ = plan_warm_tasks(list(EXPERIMENTS), SMOKE)
+        assert set(trace_tasks) == {
+            ("trace", (workload, SMOKE.iterations))
+            for workload in SMOKE.workloads
+        }
+
+    def test_full_battery_heavy_wave_matches_legacy_sets(self):
+        kinds = self._heavy_by_kind(list(EXPERIMENTS))
+        iters = SMOKE.iterations
+        instrs = SMOKE.pipeline_instructions
+        # figures 6-9 warmed pipeline runs for gshare and mcfarling
+        assert kinds["pipeline"] == {
+            (workload, predictor, iters, instrs)
+            for workload in SMOKE.workloads
+            for predictor in ("gshare", "mcfarling")
+        }
+        # the measurement grid covers the legacy table2 grid exactly
+        assert {
+            (args[0], args[1]) for args in kinds["measurement"]
+        } == {
+            (predictor, workload)
+            for predictor in PREDICTORS
+            for workload in SMOKE.workloads
+        }
+        assert kinds["gating"] == {
+            (workload, estimator, threshold, iters, instrs)
+            for workload in SMOKE.workloads
+            for estimator in SPECULATION_ESTIMATORS
+            for threshold in GATE_THRESHOLDS
+        }
+        assert kinds["eager"] == {
+            (workload, estimator, iters, instrs)
+            for workload in SMOKE.workloads
+            for estimator in SPECULATION_ESTIMATORS
+        }
+        assert kinds["inversion"] == {
+            (workload, estimator, iters)
+            for workload in SMOKE.workloads
+            for estimator in SPECULATION_ESTIMATORS
+        }
+
+    def test_dag_has_exactly_two_levels(self):
+        levels = topological_levels(
+            plan_artifact_nodes(list(EXPERIMENTS), SMOKE)
+        )
+        assert len(levels) == 2
+        assert all(node.kind == "trace" for node in levels[0])
+        assert all(node.kind != "trace" for node in levels[1])
+
+    def test_measurement_tasks_carry_the_battery_plan(self):
+        kinds = self._heavy_by_kind(list(EXPERIMENTS))
+        plan = dict(measurement_plan(SPECS[eid] for eid in SPECS))
+        for predictor, workload, __, families in kinds["measurement"]:
+            assert families == plan[predictor]
+
+
+class TestBankEquivalence:
+    """One bank pass == N single-estimator passes, family by family."""
+
+    @pytest.mark.parametrize("predictor_name", PREDICTORS)
+    def test_bank_matches_single_measure_passes(
+        self, isolated_cache, predictor_name
+    ):
+        iterations = SMOKE.iterations
+        for workload in SMOKE.workloads:
+            cell = measurement_cell(
+                predictor_name, workload, iterations, BANK_FAMILIES
+            )
+            trace = _trace(workload, iterations)
+            baseline = measure_accuracy(trace, make_predictor(predictor_name))
+            assert cell.accuracy == baseline.accuracy
+            assert cell.branches == baseline.branches
+            assert cell.mispredictions == baseline.mispredictions
+            for family in BANK_FAMILIES:
+                if family == "accuracy":
+                    continue
+                predictor = make_predictor(predictor_name)
+                estimator = _family_estimator(
+                    family, predictor_name, predictor, workload, iterations
+                )
+                single = measure(trace, predictor, {family: estimator})
+                assert (
+                    cell.quadrants[family] == single.quadrants[family]
+                ), (predictor_name, workload, family)
+
+    def test_unmeasured_family_raises_with_inventory(self, isolated_cache):
+        cell = measurement_cell(
+            "mcfarling", "compress", SMOKE.iterations, ("jrs",)
+        )
+        with pytest.raises(KeyError, match="not measured"):
+            cell.quadrant("static")
+
+
+class TestPassesSaved:
+    def test_cold_battery_journal_reports_saved_passes(
+        self, isolated_cache, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            run_all(
+                SMOKE, only=["tab1", "tab2", "tab3"], jobs=1, journal=journal
+            )
+        snapshots = [
+            event
+            for event in read_journal(path)
+            if event["event"] == "metrics_snapshot"
+        ]
+        assert snapshots, "battery must journal a metrics snapshot"
+        counters = snapshots[-1]["counters"]
+        assert counters.get("session.bank_passes", 0) > 0
+        assert counters.get("session.passes_saved", 0) > 0
+
+
+class TestSpecFingerprint:
+    def test_stable_and_compact(self):
+        one = spec_fingerprint("tab2", SMOKE)
+        two = spec_fingerprint("tab2", SMOKE)
+        assert one == two
+        assert len(one) == 16
+        int(one, 16)  # hex
+
+    def test_distinguishes_dependency_sets(self):
+        assert spec_fingerprint("fig1", SMOKE) != spec_fingerprint(
+            "tab2", SMOKE
+        )
+        assert spec_fingerprint("tab2", SMOKE) != spec_fingerprint(
+            "tab3", SMOKE
+        )
+
+
+class TestBenchCli:
+    def test_bench_json_contract(self, isolated_cache, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        exit_code = main(
+            [
+                "bench",
+                "--scale",
+                "smoke",
+                "--only",
+                "tab1,tab2,tab3",
+                "--jobs",
+                "1",
+                "--json",
+                str(out),
+            ]
+        )
+        assert exit_code == 0
+        assert str(out) in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["jobs"] == 1
+        assert payload["scale"]["workloads"] == list(SMOKE.workloads)
+        assert [e["id"] for e in payload["experiments"]] == [
+            "tab1",
+            "tab2",
+            "tab3",
+        ]
+        assert all(
+            e["duration_s"] >= 0 for e in payload["experiments"]
+        )
+        assert payload["wall_seconds"] > 0
+        assert payload["simulation"]["branches"] > 0
+        assert payload["simulation"]["branches_per_second"] > 0
+        assert 0.0 <= payload["cache"]["hit_rate"] <= 1.0
+        assert payload["session"]["bank_passes"] > 0
+        # cold run: the bank subsumed tab1/tab2/tab3 single-purpose passes
+        assert payload["session"]["passes_saved"] > 0
+
+
+class TestReadmeBatteryTable:
+    def test_readme_table_matches_registry(self):
+        readme = (
+            Path(__file__).resolve().parents[1] / "README.md"
+        ).read_text()
+        begin = "<!-- BEGIN GENERATED: battery table (repro list --markdown) -->"
+        end = "<!-- END GENERATED: battery table -->"
+        assert begin in readme and end in readme, (
+            "README must keep the generated battery-table markers"
+        )
+        block = readme.split(begin, 1)[1].split(end, 1)[0].strip()
+        assert block == battery_table_markdown(), (
+            "README battery table is stale; regenerate with"
+            " `repro list --markdown`"
+        )

@@ -146,41 +146,34 @@ class TestManagement:
         }
 
 
-class TestSimulationCountersFacade:
-    """The legacy global is now a view over the registry."""
+class TestSimulationCountersRemoval:
+    """The legacy facade module is a shim that fails with a pointer."""
 
-    def test_record_lands_in_registry(self):
-        from repro.engine.counters import (
-            BRANCHES_METRIC,
-            RegistrySimulationCounters,
-        )
+    def test_import_raises_with_pointer(self):
+        import importlib
 
-        registry = MetricsRegistry()
-        counters = RegistrySimulationCounters(registry)
-        counters.record(100, 0.5)
-        assert registry.counter_value(BRANCHES_METRIC) == 100
-        assert counters.branches == 100
-        assert counters.seconds == pytest.approx(0.5)
-        assert counters.branches_per_second == pytest.approx(200.0)
+        with pytest.raises(ImportError) as excinfo:
+            importlib.import_module("repro.engine.counters")
+        message = str(excinfo.value)
+        assert "SIMULATION_COUNTERS" in message
+        assert "repro.obs.registry.REGISTRY" in message
 
-    def test_snapshot_since_roundtrip(self):
-        from repro.engine.counters import RegistrySimulationCounters
+    def test_engine_no_longer_exports_facade(self):
+        import repro.engine as engine
 
-        counters = RegistrySimulationCounters(MetricsRegistry())
-        counters.record(10, 0.1)
-        base = counters.snapshot()
-        counters.record(5, 0.2)
-        delta = counters.since(base)
-        assert delta.branches == 5
-        assert delta.seconds == pytest.approx(0.2)
+        assert not hasattr(engine, "SIMULATION_COUNTERS")
 
-    def test_global_instance_feeds_global_registry(self):
-        from repro.engine import SIMULATION_COUNTERS
+    def test_record_simulation_feeds_global_registry(self):
+        from repro.engine import BRANCHES_METRIC, REPLAY_TIMER, record_simulation
         from repro.obs.registry import REGISTRY
 
-        before = REGISTRY.counter_value("sim.branches")
-        SIMULATION_COUNTERS.record(7, 0.0)
-        assert REGISTRY.counter_value("sim.branches") == before + 7
+        branches_before = REGISTRY.counter_value(BRANCHES_METRIC)
+        timer_before = REGISTRY.timer_value(REPLAY_TIMER)
+        record_simulation(branches=7, seconds=0.25)
+        assert REGISTRY.counter_value(BRANCHES_METRIC) == branches_before + 7
+        after = REGISTRY.timer_value(REPLAY_TIMER)
+        assert after.seconds == pytest.approx(timer_before.seconds + 0.25)
+        assert after.count == timer_before.count + 1
 
 
 class TestTimerStat:
