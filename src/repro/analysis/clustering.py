@@ -23,10 +23,12 @@ multi-estimator measurements.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Tuple
 
 from ..confidence.base import ConfidenceEstimator
 from ..confidence.boosting import BoostingAccumulator, BoostingResult
+from ..engine import boosting_counts, misestimation_pairs, record_simulation
 from ..engine.measure import measure
 from ..predictors.base import BranchPredictor
 from .distance import DistanceCurve, _curve_from_pairs
@@ -98,6 +100,11 @@ def misestimation_distance(
     The flatter this curve, the better the Bernoulli approximation
     behind boosting.
     """
+    started = time.perf_counter()
+    pairs = misestimation_pairs(trace, predictor, estimator)
+    if pairs is not None:
+        record_simulation(len(pairs), time.perf_counter() - started)
+        return _curve_from_pairs(pairs, "mis-estimation", max_distance)
     observer = MisestimationDistanceObserver(DEFAULT_SLOT)
     measure(trace, predictor, {DEFAULT_SLOT: estimator}, observers=[observer])
     return _curve_from_pairs(observer.pairs, "mis-estimation", max_distance)
@@ -110,6 +117,21 @@ def measure_boosting(
     ks: List[int] = (1, 2, 3),
 ) -> List[BoostingResult]:
     """Empirical boosted PVN of ``estimator`` for each window size."""
+    started = time.perf_counter()
+    counted = boosting_counts(trace, predictor, estimator, list(ks))
+    if counted is not None:
+        rows, lc_branches, lc_mispredictions, branches = counted
+        record_simulation(branches, time.perf_counter() - started)
+        base_pvn = lc_mispredictions / lc_branches if lc_branches else 0.0
+        return [
+            BoostingResult(
+                k=k,
+                base_pvn=base_pvn,
+                events=events,
+                events_with_misprediction=hits,
+            )
+            for k, events, hits in rows
+        ]
     accumulator = BoostingAccumulator(list(ks))
     observer = BoostingObserver(accumulator, DEFAULT_SLOT)
     measure(trace, predictor, {DEFAULT_SLOT: estimator}, observers=[observer])

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
+from ..engine import distance_value_counts, jrs_value_counts
 from ..metrics.quadrant import QuadrantCounts
 from ..predictors.base import BranchPredictor
 from ..predictors.counters import CounterTable
@@ -96,6 +97,11 @@ def jrs_value_histogram(
     enhanced prediction-bit index) but defers thresholding to the
     histogram.
     """
+    counts = jrs_value_counts(trace, predictor, table_size, counter_bits, enhanced)
+    if counts is not None:
+        histogram = ValueHistogram(max_value=(1 << counter_bits) - 1)
+        histogram.correct, histogram.incorrect = counts
+        return histogram
     table = CounterTable(table_size, bits=counter_bits, initial=0)
     histogram = ValueHistogram(max_value=table.max_value)
     values = table.values
@@ -131,6 +137,11 @@ def distance_value_histogram(
     ``quadrant(t)`` of the result corresponds to the paper's
     "Distance > t-1" rows (high confidence iff distance >= t).
     """
+    counts = distance_value_counts(trace, predictor, max_distance)
+    if counts is not None:
+        histogram = ValueHistogram(max_value=max_distance)
+        histogram.correct, histogram.incorrect = counts
+        return histogram
     histogram = ValueHistogram(max_value=max_distance)
     distance = 0
     predict = predictor.predict

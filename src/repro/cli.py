@@ -34,6 +34,10 @@ from .engine import (
     BRANCHES_METRIC,
     PASSES_SAVED_METRIC,
     REPLAY_TIMER,
+    SCALAR_FALLBACK_METRIC,
+    TRACE_BRANCHES_METRIC,
+    TRACE_TIMER,
+    VECTOR_BRANCHES_METRIC,
 )
 from .engine import cache as artifact_cache
 from .engine import trace_branches, workload_program, workload_run
@@ -315,8 +319,89 @@ def _command_speculate(args: argparse.Namespace) -> int:
     return _run_battery_command(args, list(SPECULATION_BATTERY))
 
 
+def _bench_branches_per_second(payload: dict) -> Optional[float]:
+    """Replay throughput of a bench snapshot, or ``None`` if it did no
+    replay (warm run).  ``repro-bench/1`` wrote ``0.0`` for "no replay";
+    treat that the same as schema 2's explicit ``null``."""
+    value = payload.get("simulation", {}).get("branches_per_second")
+    if not value:  # None, absent or the v1 0.0 sentinel
+        return None
+    return float(value)
+
+
+def _bench_compare(args: argparse.Namespace) -> int:
+    """Compare two bench snapshots; gate speedup/regression for CI."""
+    baseline_path, candidate_path = args.compare
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    with open(candidate_path) as handle:
+        candidate = json.load(handle)
+    base_bps = _bench_branches_per_second(baseline)
+    cand_bps = _bench_branches_per_second(candidate)
+    speedup = (
+        cand_bps / base_bps
+        if base_bps is not None and cand_bps is not None
+        else None
+    )
+
+    def fmt(value: Optional[float], pattern: str = "{:,.0f}") -> str:
+        return pattern.format(value) if value is not None else "n/a"
+
+    print(f"bench compare: {baseline_path} -> {candidate_path}")
+    print(f"  {'metric':24s} {'baseline':>14s} {'candidate':>14s} {'ratio':>8s}")
+    rows = [
+        ("branches/s", base_bps, cand_bps, speedup),
+        (
+            "wall seconds",
+            baseline.get("wall_seconds"),
+            candidate.get("wall_seconds"),
+            None,
+        ),
+        (
+            "replayed branches",
+            baseline.get("simulation", {}).get("branches"),
+            candidate.get("simulation", {}).get("branches"),
+            None,
+        ),
+    ]
+    for label, base, cand, ratio in rows:
+        pattern = "{:,.2f}" if label == "wall seconds" else "{:,.0f}"
+        ratio_text = f"{ratio:7.2f}x" if ratio is not None else f"{'n/a':>8s}"
+        print(
+            f"  {label:24s} {fmt(base, pattern):>14s}"
+            f" {fmt(cand, pattern):>14s} {ratio_text}"
+        )
+    status = 0
+    if args.min_speedup is not None:
+        if speedup is None or speedup < args.min_speedup:
+            print(
+                f"FAIL: speedup {fmt(speedup, '{:.2f}')}x below required"
+                f" {args.min_speedup:.2f}x"
+            )
+            status = 1
+        else:
+            print(f"ok: speedup {speedup:.2f}x >= {args.min_speedup:.2f}x")
+    if args.max_regression is not None:
+        floor = 1.0 - args.max_regression
+        if speedup is None or speedup < floor:
+            print(
+                f"FAIL: candidate at {fmt(speedup, '{:.2f}')}x of baseline,"
+                f" below the {floor:.2f}x regression floor"
+                f" (max regression {args.max_regression:.0%})"
+            )
+            status = 1
+        else:
+            print(
+                f"ok: candidate at {speedup:.2f}x of baseline"
+                f" (regression floor {floor:.2f}x)"
+            )
+    return status
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     """Run a battery and emit a machine-readable benchmark summary."""
+    if args.compare:
+        return _bench_compare(args)
     jobs = _resolve_execution(args)
     scale = _scale_from_args(args)
     only = args.only.split(",") if args.only else None
@@ -331,9 +416,11 @@ def _command_bench(args: argparse.Namespace) -> int:
     branches = metrics.counters.get(BRANCHES_METRIC, 0.0)
     sim_seconds = metrics.timers.get(REPLAY_TIMER, None)
     sim_seconds = sim_seconds.seconds if sim_seconds is not None else 0.0
+    trace_seconds = metrics.timers.get(TRACE_TIMER, None)
+    trace_seconds = trace_seconds.seconds if trace_seconds is not None else 0.0
     lookups = stats.hits + stats.misses
     payload = {
-        "schema": "repro-bench/1",
+        "schema": "repro-bench/2",
         "scale": {
             "iterations": scale.iterations,
             "pipeline_instructions": scale.pipeline_instructions,
@@ -351,9 +438,25 @@ def _command_bench(args: argparse.Namespace) -> int:
         "simulation": {
             "branches": int(branches),
             "seconds": sim_seconds,
+            # null, not 0.0, when the run replayed nothing (warm cache):
+            # an inflated or zero rate would poison bench comparisons.
             "branches_per_second": (
-                branches / sim_seconds if sim_seconds > 0 else 0.0
+                branches / sim_seconds
+                if branches > 0 and sim_seconds > 0
+                else None
             ),
+            "vector_branches": int(
+                metrics.counters.get(VECTOR_BRANCHES_METRIC, 0.0)
+            ),
+            "scalar_fallback_branches": int(
+                metrics.counters.get(SCALAR_FALLBACK_METRIC, 0.0)
+            ),
+        },
+        "trace_generation": {
+            "branches": int(
+                metrics.counters.get(TRACE_BRANCHES_METRIC, 0.0)
+            ),
+            "seconds": trace_seconds,
         },
         "cache": {
             "hits": stats.hits,
@@ -571,6 +674,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--only", default=None, help="comma-separated experiment ids"
+    )
+    bench_parser.add_argument(
+        "--compare",
+        nargs=2,
+        default=None,
+        metavar=("BASELINE.json", "CANDIDATE.json"),
+        help="compare two bench snapshots instead of running a battery:"
+        " print the speedup table and apply --min-speedup /"
+        " --max-regression gates (exit 1 on violation)",
+    )
+    bench_parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --compare: fail unless candidate branches/s is at"
+        " least X times the baseline's",
+    )
+    bench_parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="with --compare: fail if candidate branches/s regresses"
+        " more than FRACTION (e.g. 0.25) below the baseline",
     )
     _add_scale_arguments(bench_parser)
     bench_parser.add_argument(

@@ -20,7 +20,7 @@ from typing import Optional
 from ..isa import Program
 from ..workloads import generate_program, get_profile
 from .cache import get_cache
-from .measure import record_simulation
+from .measure import record_trace_generation
 from .tracer import TracedRun, trace_branches
 
 
@@ -44,7 +44,7 @@ def workload_program(name: str, iterations: Optional[int] = None) -> Program:
 def _trace_workload(name: str, iterations: Optional[int]) -> TracedRun:
     started = time.perf_counter()
     run = trace_branches(workload_program(name, iterations))
-    record_simulation(
+    record_trace_generation(
         branches=run.stats.branches, seconds=time.perf_counter() - started
     )
     return run
@@ -68,6 +68,10 @@ def workload_run(name: str, iterations: Optional[int] = None) -> TracedRun:
 
 def clear_cache() -> None:
     """Drop memoised programs/traces (tests use this to bound memory)."""
+    # imported here: columnar imports this module inside columnar_run
+    from .columnar import clear_columnar_cache
+
     workload_program.cache_clear()
     workload_run.cache_clear()
     profile_fingerprint.cache_clear()
+    clear_columnar_cache()

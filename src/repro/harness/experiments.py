@@ -51,9 +51,12 @@ from ..confidence import (
     profile_confident_sites,
 )
 from ..engine import (
+    columnar_run,
+    confident_sites_vector,
     get_cache,
     measure_bank,
     profile_fingerprint,
+    vector_enabled,
     workload_program,
     workload_run,
 )
@@ -177,10 +180,25 @@ def _trace(workload: str, iterations: Optional[int]):
     return workload_run(workload, iterations).trace
 
 
+def _bank_trace(workload: str, iterations: Optional[int]):
+    """The trace representation measurement passes should replay.
+
+    Columnar (vector-engine) when enabled, the plain branch stream
+    otherwise -- both replay identically through the scalar loop, so
+    callers never need to care which they got.
+    """
+    if vector_enabled():
+        return columnar_run(workload, iterations)
+    return _trace(workload, iterations)
+
+
 def _compute_static_sites(
     workload: str, predictor_name: str, iterations: Optional[int]
 ) -> frozenset:
-    trace = _trace(workload, iterations)
+    trace = _bank_trace(workload, iterations)
+    sites = confident_sites_vector(trace, make_predictor(predictor_name), 0.90)
+    if sites is not None:
+        return sites
     return frozenset(
         profile_confident_sites(trace, make_predictor(predictor_name), 0.90)
     )
@@ -353,7 +371,7 @@ def _compute_measurement_cell(
     iterations: Optional[int],
     families: Tuple[str, ...],
 ) -> MeasurementCell:
-    trace = _trace(workload, iterations)
+    trace = _bank_trace(workload, iterations)
     predictor = make_predictor(predictor_name)
     estimators = {
         family: _family_estimator(
@@ -474,9 +492,11 @@ def clear_memoised() -> None:
     Tests use this to force the next access through the artifact
     cache; it bounds memory in long-lived processes too.
     """
+    from ..engine import clear_columnar_cache
     from .speculation import clear_speculation_memoised
 
     _trace.cache_clear()
+    clear_columnar_cache()
     _static_sites.cache_clear()
     _pipeline_result.cache_clear()
     measurement_cell.cache_clear()
@@ -665,7 +685,7 @@ def _jrs_sweep(
 ) -> SweepLine:
     lines = []
     for workload in scale.workloads:
-        trace = _trace(workload, scale.iterations)
+        trace = _bank_trace(workload, scale.iterations)
         histogram = jrs_value_histogram(
             trace,
             make_predictor(predictor_name),
@@ -953,7 +973,7 @@ def experiment_table4(scale: Scale = FULL) -> ExperimentResult:
         add_reference_rows(predictor_name)
         lines = []
         for workload in scale.workloads:
-            trace = _trace(workload, scale.iterations)
+            trace = _bank_trace(workload, scale.iterations)
             histogram = distance_value_histogram(
                 trace, make_predictor(predictor_name), max_distance=16
             )
@@ -1039,7 +1059,7 @@ def experiment_boosting(scale: Scale = FULL) -> ExperimentResult:
         workload_curves = []
         accumulated = None
         for workload in scale.workloads:
-            trace = _trace(workload, scale.iterations)
+            trace = _bank_trace(workload, scale.iterations)
             predictor = make_predictor(predictor_name)
             curve = misestimation_distance(
                 trace, predictor, build_estimator(estimator_kind, predictor)
@@ -1062,7 +1082,7 @@ def experiment_boosting(scale: Scale = FULL) -> ExperimentResult:
 
         per_config = []
         for workload in scale.workloads:
-            trace = _trace(workload, scale.iterations)
+            trace = _bank_trace(workload, scale.iterations)
             predictor = make_predictor(predictor_name)
             per_config.append(
                 measure_boosting(
@@ -1112,6 +1132,10 @@ def experiment_boosting(scale: Scale = FULL) -> ExperimentResult:
 
 #: Shorthands for the artifact dependencies the paper battery shares.
 _TRACE = ArtifactDep(kind="trace")
+#: Columnar lowering of the trace -- declared by every experiment whose
+#: measurement passes replay through the vector engine, so checkpoint
+#: fingerprints (and the warm plan) track the representation change.
+_COLUMNAR = ArtifactDep(kind="trace-columnar")
 
 
 def _measurement_deps(
@@ -1149,7 +1173,7 @@ for _spec in (
         order=20,
         paper_ref="Table 1",
         produces=("trace", "pipeline", "measurement"),
-        deps=(_TRACE,)
+        deps=(_TRACE, _COLUMNAR)
         + _pipeline_deps(("gshare",))
         + _measurement_deps(PREDICTORS, ("accuracy",)),
     ),
@@ -1161,7 +1185,7 @@ for _spec in (
         order=30,
         paper_ref="Table 2",
         produces=("trace", "measurement"),
-        deps=(_TRACE,) + _measurement_deps(PREDICTORS, STANDARD_FAMILIES),
+        deps=(_TRACE, _COLUMNAR) + _measurement_deps(PREDICTORS, STANDARD_FAMILIES),
     ),
     ExperimentSpec(
         experiment_id="tab2d",
@@ -1171,7 +1195,7 @@ for _spec in (
         order=40,
         paper_ref="Table 2 (tech-report detail)",
         produces=("trace", "measurement"),
-        deps=(_TRACE,) + _measurement_deps(PREDICTORS, STANDARD_FAMILIES),
+        deps=(_TRACE, _COLUMNAR) + _measurement_deps(PREDICTORS, STANDARD_FAMILIES),
     ),
     ExperimentSpec(
         experiment_id="fig3",
@@ -1181,7 +1205,7 @@ for _spec in (
         order=50,
         paper_ref="Figure 3",
         produces=("trace",),
-        deps=(_TRACE,),
+        deps=(_TRACE, _COLUMNAR),
         plot=True,
     ),
     ExperimentSpec(
@@ -1192,7 +1216,7 @@ for _spec in (
         order=60,
         paper_ref="Figure 4",
         produces=("trace",),
-        deps=(_TRACE,),
+        deps=(_TRACE, _COLUMNAR),
         plot=True,
     ),
     ExperimentSpec(
@@ -1203,7 +1227,7 @@ for _spec in (
         order=70,
         paper_ref="Figure 5",
         produces=("trace",),
-        deps=(_TRACE,),
+        deps=(_TRACE, _COLUMNAR),
         plot=True,
     ),
     ExperimentSpec(
@@ -1214,7 +1238,7 @@ for _spec in (
         order=80,
         paper_ref="Table 3",
         produces=("trace", "measurement"),
-        deps=(_TRACE,)
+        deps=(_TRACE, _COLUMNAR)
         + _measurement_deps(("mcfarling",), ("satcnt", "satcnt-either")),
     ),
     ExperimentSpec(
@@ -1269,7 +1293,7 @@ for _spec in (
         order=130,
         paper_ref="Table 4",
         produces=("trace", "measurement"),
-        deps=(_TRACE,)
+        deps=(_TRACE, _COLUMNAR)
         + _measurement_deps(("gshare", "mcfarling", "sag"), STANDARD_FAMILIES),
     ),
     ExperimentSpec(
@@ -1280,7 +1304,7 @@ for _spec in (
         order=140,
         paper_ref="Section 4.2",
         produces=("trace",),
-        deps=(_TRACE,),
+        deps=(_TRACE, _COLUMNAR),
     ),
 ):
     SPECS.register(_spec)

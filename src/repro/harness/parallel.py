@@ -67,6 +67,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..engine import cache as artifact_cache
+from ..engine import columnar_run, vector_enabled
 from ..engine.cache import CacheStats
 from ..faults import injector as faults
 from ..faults.injector import InjectedCrash
@@ -211,7 +212,13 @@ def plan_artifact_nodes(
                 trace = add("trace", (workload, scale.iterations))
                 if dep.kind == "trace":
                     continue
-                if dep.kind == "pipeline":
+                if dep.kind == "trace-columnar":
+                    add(
+                        "trace-columnar",
+                        (workload, scale.iterations),
+                        deps=(trace,),
+                    )
+                elif dep.kind == "pipeline":
                     add(
                         "pipeline",
                         (
@@ -226,10 +233,17 @@ def plan_artifact_nodes(
                     families = families_by_predictor.get(
                         dep.predictor, tuple(sorted(set(dep.families)))
                     )
+                    # the bank replays the columnar form of the trace,
+                    # so warm it between the trace and the cells
+                    columnar = add(
+                        "trace-columnar",
+                        (workload, scale.iterations),
+                        deps=(trace,),
+                    )
                     add(
                         "measurement",
                         (dep.predictor, workload, scale.iterations, families),
-                        deps=(trace,),
+                        deps=(trace, columnar),
                     )
                 elif dep.kind == "gating":
                     add(
@@ -323,6 +337,10 @@ def _warm_worker(task: WarmTask) -> Tuple[CacheStats, MetricsSnapshot, float]:
     if kind == "trace":
         workload, iterations = args
         _trace(workload, iterations)
+    elif kind == "trace-columnar":
+        workload, iterations = args
+        if vector_enabled():
+            columnar_run(workload, iterations)
     elif kind == "pipeline":
         workload, predictor, iterations, max_instructions = args
         _pipeline_result(workload, predictor, iterations, max_instructions)

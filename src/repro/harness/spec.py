@@ -47,7 +47,15 @@ from typing import (
 
 #: Dependency kinds the planner knows how to expand (one artifact per
 #: workload of the scale for every kind).
-DEP_KINDS = ("trace", "pipeline", "measurement", "gating", "eager", "inversion")
+DEP_KINDS = (
+    "trace",
+    "trace-columnar",
+    "pipeline",
+    "measurement",
+    "gating",
+    "eager",
+    "inversion",
+)
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ import pytest
 
 from repro.cli import battery_table_markdown, main
 from repro.engine import cache as artifact_cache
-from repro.engine import clear_cache
+from repro.engine import clear_cache, vector_enabled
 from repro.engine.measure import measure, measure_accuracy
 from repro.harness import (
     EXPERIMENTS,
@@ -234,13 +234,17 @@ class TestWarmPlanLegacyEquivalence:
             for estimator in SPECULATION_ESTIMATORS
         }
 
-    def test_dag_has_exactly_two_levels(self):
+    def test_dag_has_exactly_three_levels(self):
         levels = topological_levels(
             plan_artifact_nodes(list(EXPERIMENTS), SMOKE)
         )
-        assert len(levels) == 2
+        assert len(levels) == 3
         assert all(node.kind == "trace" for node in levels[0])
         assert all(node.kind != "trace" for node in levels[1])
+        # the columnar lowering sits between the trace and everything
+        # that replays it
+        assert any(node.kind == "trace-columnar" for node in levels[1])
+        assert all(node.kind == "measurement" for node in levels[2])
 
     def test_measurement_tasks_carry_the_battery_plan(self):
         kinds = self._heavy_by_kind(list(EXPERIMENTS))
@@ -342,7 +346,7 @@ class TestBenchCli:
         assert exit_code == 0
         assert str(out) in capsys.readouterr().out
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro-bench/1"
+        assert payload["schema"] == "repro-bench/2"
         assert payload["jobs"] == 1
         assert payload["scale"]["workloads"] == list(SMOKE.workloads)
         assert [e["id"] for e in payload["experiments"]] == [
@@ -356,10 +360,83 @@ class TestBenchCli:
         assert payload["wall_seconds"] > 0
         assert payload["simulation"]["branches"] > 0
         assert payload["simulation"]["branches_per_second"] > 0
+        assert payload["simulation"]["scalar_fallback_branches"] >= 0
+        if vector_enabled():
+            assert payload["simulation"]["vector_branches"] > 0
+        # trace generation is accounted separately from replay
+        assert payload["trace_generation"]["branches"] > 0
+        assert payload["trace_generation"]["seconds"] > 0
         assert 0.0 <= payload["cache"]["hit_rate"] <= 1.0
         assert payload["session"]["bank_passes"] > 0
         # cold run: the bank subsumed tab1/tab2/tab3 single-purpose passes
         assert payload["session"]["passes_saved"] > 0
+
+    def test_warm_bench_reports_no_replay_throughput(
+        self, isolated_cache, tmp_path, capsys
+    ):
+        """Satellite regression: a fully cached battery must report
+        ``branches_per_second: null`` -- not a rate inflated by counting
+        cached cells' branches against near-zero replay time."""
+        argv = [
+            "bench",
+            "--scale",
+            "smoke",
+            "--only",
+            "tab2",
+            "--jobs",
+            "1",
+        ]
+        assert main(argv + ["--json", str(tmp_path / "cold.json")]) == 0
+        # drop in-process memos so the warm run exercises the on-disk
+        # cache exactly as a fresh CI process would
+        clear_memoised()
+        warm = tmp_path / "warm.json"
+        assert main(argv + ["--json", str(warm)]) == 0
+        capsys.readouterr()
+        payload = json.loads(warm.read_text())
+        assert payload["simulation"]["branches"] == 0
+        assert payload["simulation"]["branches_per_second"] is None
+
+    def test_compare_gates(self, tmp_path, capsys):
+        def snapshot(path, bps, branches):
+            payload = {
+                "schema": "repro-bench/2",
+                "wall_seconds": 1.0,
+                "simulation": {
+                    "branches": branches,
+                    "seconds": branches / bps if bps else 0.0,
+                    "branches_per_second": bps,
+                },
+            }
+            path.write_text(json.dumps(payload))
+            return str(path)
+
+        slow = snapshot(tmp_path / "slow.json", 100_000.0, 1_000_000)
+        fast = snapshot(tmp_path / "fast.json", 1_500_000.0, 1_000_000)
+        warm = snapshot(tmp_path / "warm.json", None, 0)
+
+        assert (
+            main(["bench", "--compare", slow, fast, "--min-speedup", "10"])
+            == 0
+        )
+        assert (
+            main(["bench", "--compare", slow, fast, "--min-speedup", "20"])
+            == 1
+        )
+        assert (
+            main(["bench", "--compare", fast, slow, "--max-regression", "0.25"])
+            == 1
+        )
+        assert (
+            main(["bench", "--compare", fast, fast, "--max-regression", "0.25"])
+            == 0
+        )
+        # a warm snapshot has no throughput: gate must fail, table "n/a"
+        assert (
+            main(["bench", "--compare", slow, warm, "--min-speedup", "10"])
+            == 1
+        )
+        assert "n/a" in capsys.readouterr().out
 
 
 class TestReadmeBatteryTable:
