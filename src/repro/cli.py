@@ -33,6 +33,8 @@ from .engine import (
     BANK_PASSES_METRIC,
     BRANCHES_METRIC,
     PASSES_SAVED_METRIC,
+    PIPELINE_BRANCHES_METRIC,
+    PIPELINE_TIMER,
     REPLAY_TIMER,
     SCALAR_FALLBACK_METRIC,
     TRACE_BRANCHES_METRIC,
@@ -319,11 +321,23 @@ def _command_speculate(args: argparse.Namespace) -> int:
     return _run_battery_command(args, list(SPECULATION_BATTERY))
 
 
-def _bench_branches_per_second(payload: dict) -> Optional[float]:
-    """Replay throughput of a bench snapshot, or ``None`` if it did no
-    replay (warm run).  ``repro-bench/1`` wrote ``0.0`` for "no replay";
-    treat that the same as schema 2's explicit ``null``."""
-    value = payload.get("simulation", {}).get("branches_per_second")
+#: ``--metric`` choices: which bench section carries the gated
+#: branches/s figure.  ``replay`` is trace-measurement throughput
+#: (``simulation``); ``pipeline`` is cycle-level simulator throughput
+#: (``pipeline``, new in repro-bench/3).
+BENCH_METRIC_SECTIONS = {"replay": "simulation", "pipeline": "pipeline"}
+
+
+def _bench_branches_per_second(
+    payload: dict, metric: str = "replay"
+) -> Optional[float]:
+    """Throughput of a bench snapshot's ``metric`` section, or ``None``
+    if that work did not run (warm cache, or a pre-``repro-bench/3``
+    snapshot without a ``pipeline`` section).  ``repro-bench/1`` wrote
+    ``0.0`` for "no replay"; treat that the same as the explicit
+    ``null`` of later schemas."""
+    section = BENCH_METRIC_SECTIONS[metric]
+    value = payload.get(section, {}).get("branches_per_second")
     if not value:  # None, absent or the v1 0.0 sentinel
         return None
     return float(value)
@@ -336,8 +350,10 @@ def _bench_compare(args: argparse.Namespace) -> int:
         baseline = json.load(handle)
     with open(candidate_path) as handle:
         candidate = json.load(handle)
-    base_bps = _bench_branches_per_second(baseline)
-    cand_bps = _bench_branches_per_second(candidate)
+    metric = args.metric
+    section = BENCH_METRIC_SECTIONS[metric]
+    base_bps = _bench_branches_per_second(baseline, metric)
+    cand_bps = _bench_branches_per_second(candidate, metric)
     speedup = (
         cand_bps / base_bps
         if base_bps is not None and cand_bps is not None
@@ -347,7 +363,9 @@ def _bench_compare(args: argparse.Namespace) -> int:
     def fmt(value: Optional[float], pattern: str = "{:,.0f}") -> str:
         return pattern.format(value) if value is not None else "n/a"
 
-    print(f"bench compare: {baseline_path} -> {candidate_path}")
+    print(
+        f"bench compare ({metric}): {baseline_path} -> {candidate_path}"
+    )
     print(f"  {'metric':24s} {'baseline':>14s} {'candidate':>14s} {'ratio':>8s}")
     rows = [
         ("branches/s", base_bps, cand_bps, speedup),
@@ -358,9 +376,9 @@ def _bench_compare(args: argparse.Namespace) -> int:
             None,
         ),
         (
-            "replayed branches",
-            baseline.get("simulation", {}).get("branches"),
-            candidate.get("simulation", {}).get("branches"),
+            "measured branches",
+            baseline.get(section, {}).get("branches"),
+            candidate.get(section, {}).get("branches"),
             None,
         ),
     ]
@@ -418,9 +436,14 @@ def _command_bench(args: argparse.Namespace) -> int:
     sim_seconds = sim_seconds.seconds if sim_seconds is not None else 0.0
     trace_seconds = metrics.timers.get(TRACE_TIMER, None)
     trace_seconds = trace_seconds.seconds if trace_seconds is not None else 0.0
+    pipeline_branches = metrics.counters.get(PIPELINE_BRANCHES_METRIC, 0.0)
+    pipeline_seconds = metrics.timers.get(PIPELINE_TIMER, None)
+    pipeline_seconds = (
+        pipeline_seconds.seconds if pipeline_seconds is not None else 0.0
+    )
     lookups = stats.hits + stats.misses
     payload = {
-        "schema": "repro-bench/2",
+        "schema": "repro-bench/3",
         "scale": {
             "iterations": scale.iterations,
             "pipeline_instructions": scale.pipeline_instructions,
@@ -450,6 +473,16 @@ def _command_bench(args: argparse.Namespace) -> int:
             ),
             "scalar_fallback_branches": int(
                 metrics.counters.get(SCALAR_FALLBACK_METRIC, 0.0)
+            ),
+        },
+        "pipeline": {
+            "branches": int(pipeline_branches),
+            "seconds": pipeline_seconds,
+            # same null-not-zero discipline as "simulation" above
+            "branches_per_second": (
+                pipeline_branches / pipeline_seconds
+                if pipeline_branches > 0 and pipeline_seconds > 0
+                else None
             ),
         },
         "trace_generation": {
@@ -699,6 +732,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRACTION",
         help="with --compare: fail if candidate branches/s regresses"
         " more than FRACTION (e.g. 0.25) below the baseline",
+    )
+    bench_parser.add_argument(
+        "--metric",
+        choices=sorted(BENCH_METRIC_SECTIONS),
+        default="replay",
+        help="with --compare: which throughput to gate -- trace-replay"
+        " branches/s (replay, default) or cycle-level pipeline"
+        " branches/s (pipeline, repro-bench/3 snapshots)",
     )
     _add_scale_arguments(bench_parser)
     bench_parser.add_argument(

@@ -43,7 +43,7 @@ T = TypeVar("T")
 
 #: Bump whenever a change to the generator/tracer/pipeline/estimator
 #: code alters what any cached artifact would contain.
-CODE_SALT = "repro-artifacts-v1"
+CODE_SALT = "repro-artifacts-v2"
 
 ENABLE_ENV = "REPRO_CACHE"
 DIR_ENV = "REPRO_CACHE_DIR"

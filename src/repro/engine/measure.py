@@ -62,6 +62,14 @@ TRACE_TIMER = "sim.tracegen"
 VECTOR_BRANCHES_METRIC = "sim.vector_branches"
 SCALAR_FALLBACK_METRIC = "sim.scalar_fallback_branches"
 
+#: Cycle-level pipeline simulation is accounted apart from trace
+#: replay: ``sim.pipeline_branches`` counts branches *fetched* by the
+#: pipeline (wrong path included -- that is the work the simulator
+#: does), and ``sim.pipeline`` accumulates simulator wall time.  The
+#: ``repro bench`` pipeline section derives branches/s from these.
+PIPELINE_BRANCHES_METRIC = "sim.pipeline_branches"
+PIPELINE_TIMER = "sim.pipeline"
+
 #: Estimator-bank session metrics: how many one-pass bank measurements
 #: ran, and how many single-purpose passes they subsumed beyond the one
 #: actually executed (the battery's simulation savings).
@@ -84,6 +92,12 @@ def record_trace_generation(branches: int, seconds: float) -> None:
     """
     REGISTRY.count(TRACE_BRANCHES_METRIC, branches)
     REGISTRY.observe_seconds(TRACE_TIMER, seconds)
+
+
+def record_pipeline_simulation(branches: int, seconds: float) -> None:
+    """Count one cycle-level pipeline run into the process registry."""
+    REGISTRY.count(PIPELINE_BRANCHES_METRIC, branches)
+    REGISTRY.observe_seconds(PIPELINE_TIMER, seconds)
 
 
 #: Observer signature: (pc, predicted_taken, actual_taken,

@@ -22,6 +22,7 @@ even a cold cache simulates each pair exactly once
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -56,12 +57,19 @@ from ..engine import (
     get_cache,
     measure_bank,
     profile_fingerprint,
+    record_pipeline_simulation,
     vector_enabled,
     workload_program,
     workload_run,
 )
 from ..metrics import QuadrantCounts, average_quadrants, figure1_family
-from ..pipeline import PipelineConfig, PipelineSimulator
+from ..pipeline import (
+    PipelineConfig,
+    PipelineSimulator,
+    clear_decoded_cache,
+    decoded_run,
+    pipeline_fast_enabled,
+)
 from ..predictors import make_predictor
 from ..workloads import SUITE
 from . import paper_values
@@ -109,15 +117,17 @@ class Scale:
     """
 
     iterations: Optional[int] = None
-    pipeline_instructions: int = 150_000
+    pipeline_instructions: int = 750_000
     workloads: Tuple[str, ...] = SUITE
 
     def key(self) -> Tuple:
         return (self.iterations, self.pipeline_instructions, self.workloads)
 
 
+# the pre-decoded pipeline fast path (~5x branches/s) pays for 5x
+# deeper cycle-level runs at the same wall clock as the old presets
 FULL = Scale()
-QUICK = Scale(iterations=120, pipeline_instructions=20_000)
+QUICK = Scale(iterations=120, pipeline_instructions=100_000)
 #: Tiny battery for CI smoke runs and parallel-equivalence tests.
 SMOKE = Scale(
     iterations=60,
@@ -234,10 +244,22 @@ def _compute_pipeline_result(
             "jrs": JRSEstimator(threshold=15, enhanced=True),
             "satcnt": SaturatingCountersEstimator.for_predictor(predictor),
         }
+    # the fast path reads the shared pre-decoded artifact (warmed by
+    # the DAG scheduler; a cheap decode on a cold cache)
+    decoded = decoded_run(workload, iterations) if pipeline_fast_enabled() else None
     simulator = PipelineSimulator(
-        program, predictor, config=PipelineConfig(), estimators=estimators
+        program,
+        predictor,
+        config=PipelineConfig(),
+        estimators=estimators,
+        decoded=decoded,
     )
-    return simulator.run(max_instructions=max_instructions)
+    started = time.perf_counter()
+    result = simulator.run(max_instructions=max_instructions)
+    record_pipeline_simulation(
+        result.stats.fetched_branches, time.perf_counter() - started
+    )
+    return result
 
 
 @lru_cache(maxsize=64)
@@ -497,6 +519,7 @@ def clear_memoised() -> None:
 
     _trace.cache_clear()
     clear_columnar_cache()
+    clear_decoded_cache()
     _static_sites.cache_clear()
     _pipeline_result.cache_clear()
     measurement_cell.cache_clear()
@@ -560,7 +583,9 @@ def experiment_table1(scale: Scale = FULL) -> ExperimentResult:
         pipe = _pipeline_result(
             workload, "gshare", scale.iterations, scale.pipeline_instructions
         )
-        ratio = pipe.stats.fetch_to_commit_ratio
+        # metric_or_none policy: an empty pipeline run renders as n/a,
+        # never as a fabricated 0.00 ratio
+        ratio = pipe.stats.fetch_to_commit_ratio_or_none()
         ratios[workload] = ratio
         table.add_row(
             [
@@ -570,7 +595,7 @@ def experiment_table1(scale: Scale = FULL) -> ExperimentResult:
                 pct1(accs["gshare"]),
                 pct1(accs["mcfarling"]),
                 pct1(accs["sag"]),
-                f"{ratio:.2f}",
+                "n/a" if ratio is None else f"{ratio:.2f}",
             ]
         )
     table.add_note(

@@ -73,6 +73,7 @@ from ..faults import injector as faults
 from ..faults.injector import InjectedCrash
 from ..obs.journal import coalesce
 from ..obs.registry import REGISTRY, MetricsSnapshot
+from ..pipeline import decoded_run, pipeline_fast_enabled
 from .checkpoint import store_checkpoint
 from .experiments import (
     EXPERIMENTS,
@@ -218,7 +219,15 @@ def plan_artifact_nodes(
                         (workload, scale.iterations),
                         deps=(trace,),
                     )
+                elif dep.kind == "program-decoded":
+                    add("program-decoded", (workload, scale.iterations))
                 elif dep.kind == "pipeline":
+                    # pipeline-backed artifacts read the shared
+                    # pre-decoded program (fast path); the worker
+                    # no-ops when the fast path is disabled
+                    decoded = add(
+                        "program-decoded", (workload, scale.iterations)
+                    )
                     add(
                         "pipeline",
                         (
@@ -227,7 +236,7 @@ def plan_artifact_nodes(
                             scale.iterations,
                             scale.pipeline_instructions,
                         ),
-                        deps=(trace,),
+                        deps=(trace, decoded),
                     )
                 elif dep.kind == "measurement":
                     families = families_by_predictor.get(
@@ -246,6 +255,9 @@ def plan_artifact_nodes(
                         deps=(trace, columnar),
                     )
                 elif dep.kind == "gating":
+                    decoded = add(
+                        "program-decoded", (workload, scale.iterations)
+                    )
                     add(
                         "gating",
                         (
@@ -255,9 +267,12 @@ def plan_artifact_nodes(
                             scale.iterations,
                             scale.pipeline_instructions,
                         ),
-                        deps=(trace,),
+                        deps=(trace, decoded),
                     )
                 elif dep.kind == "eager":
+                    decoded = add(
+                        "program-decoded", (workload, scale.iterations)
+                    )
                     add(
                         "eager",
                         (
@@ -266,7 +281,7 @@ def plan_artifact_nodes(
                             scale.iterations,
                             scale.pipeline_instructions,
                         ),
-                        deps=(trace,),
+                        deps=(trace, decoded),
                     )
                 elif dep.kind == "inversion":
                     add(
@@ -341,6 +356,10 @@ def _warm_worker(task: WarmTask) -> Tuple[CacheStats, MetricsSnapshot, float]:
         workload, iterations = args
         if vector_enabled():
             columnar_run(workload, iterations)
+    elif kind == "program-decoded":
+        workload, iterations = args
+        if pipeline_fast_enabled():
+            decoded_run(workload, iterations)
     elif kind == "pipeline":
         workload, predictor, iterations, max_instructions = args
         _pipeline_result(workload, predictor, iterations, max_instructions)

@@ -50,6 +50,7 @@ from typing import (
 DEP_KINDS = (
     "trace",
     "trace-columnar",
+    "program-decoded",
     "pipeline",
     "measurement",
     "gating",
@@ -66,6 +67,9 @@ class ArtifactDep:
     it (which fields apply depends on the kind):
 
     * ``trace`` -- the committed branch stream of each workload;
+    * ``program-decoded`` -- the packed pre-decoded form of each
+      workload program (the pipeline fast path's input; planned
+      implicitly under every pipeline-backed dependency);
     * ``pipeline`` -- a cycle-level pipeline run (``predictor``);
     * ``measurement`` -- an estimator-bank measurement (``predictor``,
       ``families``; see :data:`repro.harness.experiments.BANK_FAMILIES`);

@@ -44,7 +44,7 @@ from ..confidence import (
 )
 from ..engine import get_cache, profile_fingerprint, workload_program
 from ..obs.registry import REGISTRY
-from ..pipeline import PipelineConfig
+from ..pipeline import PipelineConfig, decoded_run, pipeline_fast_enabled
 from ..predictors import make_predictor
 from ..speculation import (
     compare_eager_execution,
@@ -250,6 +250,9 @@ def _compute_gating_cell(
     max_instructions: int,
 ) -> GatingCell:
     config = PipelineConfig()
+    decoded = (
+        decoded_run(workload, iterations) if pipeline_fast_enabled() else None
+    )
     comparison = compare_gating(
         workload_program(workload, iterations),
         _predictor_factory,
@@ -257,6 +260,7 @@ def _compute_gating_cell(
         gate_threshold=threshold,
         config=config,
         max_instructions=max_instructions,
+        decoded=decoded,
     )
     baseline, gated = comparison.baseline.stats, comparison.gated.stats
     cell = GatingCell(
@@ -311,12 +315,16 @@ def _compute_eager_cell(
     iterations: Optional[int],
     max_instructions: int,
 ) -> EagerCell:
+    decoded = (
+        decoded_run(workload, iterations) if pipeline_fast_enabled() else None
+    )
     comparison = compare_eager_execution(
         workload_program(workload, iterations),
         _predictor_factory,
         _estimator_factory(estimator_name),
         config=PipelineConfig(),
         max_instructions=max_instructions,
+        decoded=decoded,
     )
     cell = EagerCell(
         workload=workload,

@@ -3,7 +3,15 @@
 from .caches import Cache
 from .config import CacheConfig, PipelineConfig
 from .core import PipelineResult, PipelineSimulator
-from .records import BranchRecord, PipelineStats
+from .decode import (
+    PIPELINE_FAST_ENV,
+    DecodedProgram,
+    clear_decoded_cache,
+    decode_program,
+    decoded_run,
+    pipeline_fast_enabled,
+)
+from .records import BranchRecord, BranchRecordStore, PipelineStats
 
 __all__ = [
     "Cache",
@@ -12,5 +20,12 @@ __all__ = [
     "PipelineResult",
     "PipelineSimulator",
     "BranchRecord",
+    "BranchRecordStore",
     "PipelineStats",
+    "DecodedProgram",
+    "PIPELINE_FAST_ENV",
+    "clear_decoded_cache",
+    "decode_program",
+    "decoded_run",
+    "pipeline_fast_enabled",
 ]

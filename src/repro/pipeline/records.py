@@ -4,12 +4,37 @@ Every *fetched* conditional branch -- committed or wrong-path -- gets a
 record, because the paper's §3.1 point is exactly that the processor
 cannot tell those populations apart at prediction time and the §4
 clustering analysis needs both views.
+
+Records live in a :class:`BranchRecordStore`: append-only columnar
+buffers (one flat python list per field, the
+:class:`~repro.engine.columnar.ColumnarTrace` convention), because the
+pipeline hot loop appends one record per fetched branch and a
+dataclass allocation per branch is measurable there.  Consumers that
+want objects call :meth:`BranchRecordStore.materialize`, which builds
+:class:`BranchRecord` views on demand and memoises them against a
+mutation stamp, so analysis code and tests keep the ergonomic
+attribute API.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+#: Store slots that survive pickling (the view memo does not).
+_STORE_SLOTS = (
+    "sequence",
+    "pc",
+    "predicted_taken",
+    "actual_taken",
+    "fetch_cycle",
+    "resolve_cycle",
+    "committed",
+    "precise_distance",
+    "perceived_distance",
+    "wrong_path",
+    "assessments",
+)
 
 
 @dataclass
@@ -57,6 +82,108 @@ class BranchRecord:
         return self.predicted_taken != self.actual_taken
 
 
+class BranchRecordStore:
+    """Append-only columnar buffers of every fetched branch.
+
+    One python list per :class:`BranchRecord` field, indexed by append
+    order.  ``assessments`` stores ``None`` for branches fetched with
+    no estimators attached (the common pipeline-artifact case) and a
+    plain dict otherwise; views materialise ``None`` as ``{}``.
+    """
+
+    __slots__ = _STORE_SLOTS + ("_views", "_stamp")
+
+    def __init__(self):
+        self.sequence: List[int] = []
+        self.pc: List[int] = []
+        self.predicted_taken: List[bool] = []
+        self.actual_taken: List[bool] = []
+        self.fetch_cycle: List[int] = []
+        self.resolve_cycle: List[Optional[int]] = []
+        self.committed: List[bool] = []
+        self.precise_distance: List[int] = []
+        self.perceived_distance: List[int] = []
+        self.wrong_path: List[bool] = []
+        self.assessments: List[Optional[Dict[str, bool]]] = []
+        self._views = None  # (stamp, [BranchRecord, ...]) memo
+        self._stamp = 0
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def append(
+        self,
+        sequence: int,
+        pc: int,
+        predicted_taken: bool,
+        actual_taken: bool,
+        fetch_cycle: int,
+        precise_distance: int,
+        perceived_distance: int,
+        wrong_path: bool,
+        assessments: Optional[Dict[str, bool]],
+    ) -> int:
+        """Append one fetched branch (unresolved); return its index."""
+        index = len(self.sequence)
+        self.sequence.append(sequence)
+        self.pc.append(pc)
+        self.predicted_taken.append(predicted_taken)
+        self.actual_taken.append(actual_taken)
+        self.fetch_cycle.append(fetch_cycle)
+        self.resolve_cycle.append(None)
+        self.committed.append(False)
+        self.precise_distance.append(precise_distance)
+        self.perceived_distance.append(perceived_distance)
+        self.wrong_path.append(wrong_path)
+        self.assessments.append(assessments)
+        self._stamp += 1
+        return index
+
+    def resolve(self, index: int, cycle: int) -> None:
+        """Mark the branch at ``index`` committed at ``cycle``."""
+        self.committed[index] = True
+        self.resolve_cycle[index] = cycle
+        self._stamp += 1
+
+    def squash(self, index: int) -> None:
+        """Mark the branch at ``index`` squashed (never committed)."""
+        self.committed[index] = False
+        self._stamp += 1
+
+    def materialize(self) -> List[BranchRecord]:
+        """Dataclass views of every record (memoised per mutation)."""
+        memo = self._views
+        if memo is not None and memo[0] == self._stamp:
+            return memo[1]
+        views = [
+            BranchRecord(
+                sequence=self.sequence[i],
+                pc=self.pc[i],
+                predicted_taken=self.predicted_taken[i],
+                actual_taken=self.actual_taken[i],
+                fetch_cycle=self.fetch_cycle[i],
+                resolve_cycle=self.resolve_cycle[i],
+                committed=self.committed[i],
+                precise_distance=self.precise_distance[i],
+                perceived_distance=self.perceived_distance[i],
+                wrong_path=self.wrong_path[i],
+                assessments=self.assessments[i] or {},
+            )
+            for i in range(len(self.sequence))
+        ]
+        self._views = (self._stamp, views)
+        return views
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in _STORE_SLOTS}
+
+    def __setstate__(self, state) -> None:
+        for slot in _STORE_SLOTS:
+            setattr(self, slot, state[slot])
+        self._views = None
+        self._stamp = 0
+
+
 @dataclass
 class PipelineStats:
     """Aggregate counters of one pipeline run (Table 1 inputs)."""
@@ -73,25 +200,52 @@ class PipelineStats:
     dcache_misses: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
+    # The four ratio properties keep their 0.0 defaults for arithmetic
+    # compatibility; report renderers must use the ``*_or_none``
+    # variants so empty runs print ``n/a`` rather than a misleading
+    # zero (the PR 2 ``metric_or_none`` policy for quadrant metrics).
+
     @property
     def fetch_to_commit_ratio(self) -> float:
         """The paper's "all/committed" instruction ratio (>= 1)."""
+        value = self.fetch_to_commit_ratio_or_none()
+        return 0.0 if value is None else value
+
+    def fetch_to_commit_ratio_or_none(self) -> Optional[float]:
+        """The fetch/commit ratio, or ``None`` if nothing committed."""
         if not self.committed_instructions:
-            return 0.0
+            return None
         return self.fetched_instructions / self.committed_instructions
 
     @property
     def committed_accuracy(self) -> float:
+        value = self.committed_accuracy_or_none()
+        return 0.0 if value is None else value
+
+    def committed_accuracy_or_none(self) -> Optional[float]:
+        """Committed-branch accuracy, or ``None`` with no such branches."""
         if not self.committed_branches:
-            return 0.0
+            return None
         return 1.0 - self.committed_mispredictions / self.committed_branches
 
     @property
     def all_accuracy(self) -> float:
+        value = self.all_accuracy_or_none()
+        return 0.0 if value is None else value
+
+    def all_accuracy_or_none(self) -> Optional[float]:
+        """All-fetched-branch accuracy, or ``None`` with no branches."""
         if not self.fetched_branches:
-            return 0.0
+            return None
         return 1.0 - self.fetched_mispredictions / self.fetched_branches
 
     @property
     def ipc(self) -> float:
-        return self.committed_instructions / self.cycles if self.cycles else 0.0
+        value = self.ipc_or_none()
+        return 0.0 if value is None else value
+
+    def ipc_or_none(self) -> Optional[float]:
+        """Committed IPC, or ``None`` for a run that saw no cycles."""
+        if not self.cycles:
+            return None
+        return self.committed_instructions / self.cycles

@@ -92,6 +92,25 @@ class BranchPredictor(abc.ABC):
     def resolve(self, pc: int, taken: bool, prediction: Prediction) -> None:
         """Learn the actual outcome (called in order at resolution)."""
 
+    def predict_compact(self, pc: int) -> Tuple[bool, object]:
+        """Allocation-light predict: ``(taken, token)``.
+
+        The pipeline's fused fast loop uses this instead of
+        :meth:`predict` when no confidence estimator needs the full
+        :class:`Prediction` record.  The opaque ``token`` must be
+        passed back to :meth:`resolve_compact`; predictor state must
+        evolve exactly as under :meth:`predict` (the fast/slow
+        byte-identity tests compare the two end to end).  The default
+        simply wraps :meth:`predict`, so subclasses only override this
+        as an optimisation.
+        """
+        prediction = self.predict(pc)
+        return prediction.taken, prediction
+
+    def resolve_compact(self, pc: int, taken: bool, token: object) -> None:
+        """Resolve a branch predicted via :meth:`predict_compact`."""
+        self.resolve(pc, taken, token)
+
     def reset(self) -> None:
         """Restore power-on state (re-creating the object also works)."""
         raise NotImplementedError

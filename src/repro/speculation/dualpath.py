@@ -36,6 +36,7 @@ from ..confidence.base import ConfidenceEstimator
 from ..isa import Program
 from ..pipeline.config import PipelineConfig
 from ..pipeline.core import PipelineResult, PipelineSimulator
+from ..pipeline.decode import DecodedProgram
 from ..predictors.base import BranchPredictor
 
 
@@ -50,8 +51,17 @@ class EagerPipelineSimulator(PipelineSimulator):
         estimators: Optional[Mapping[str, ConfidenceEstimator]] = None,
         fork_on: Optional[str] = None,
         fork_switch_penalty: int = 1,
+        decoded: Optional[DecodedProgram] = None,
+        fast: Optional[bool] = None,
     ):
-        super().__init__(program, predictor, config=config, estimators=estimators)
+        super().__init__(
+            program,
+            predictor,
+            config=config,
+            estimators=estimators,
+            decoded=decoded,
+            fast=fast,
+        )
         available = ", ".join(sorted(self.estimators)) or "<none attached>"
         if fork_on is None or fork_on not in self.estimators:
             raise ValueError(
@@ -105,7 +115,7 @@ class EagerPipelineSimulator(PipelineSimulator):
             return diluted
         return width
 
-    def _front_end_mispredict(self, entry, inst) -> None:
+    def _front_end_mispredict(self, entry, target) -> None:
         if self._fork_eligible(entry):
             # fork: the alternate context is fetching the *correct*
             # path, which is the one the journaled machine already
@@ -122,11 +132,11 @@ class EagerPipelineSimulator(PipelineSimulator):
             ):
                 history.set(history.value ^ 1)
             return
-        super()._front_end_mispredict(entry, inst)
+        super()._front_end_mispredict(entry, target)
 
-    def _fetch_branch(self, entry, result, inst) -> None:
+    def _fetch_branch(self, entry, taken, target) -> None:
         already_forked = self._active_fork is not None
-        super()._fetch_branch(entry, result, inst)
+        super()._fetch_branch(entry, taken, target)
         if already_forked and entry is not self._active_fork:
             self._branches_since_fork += 1
         elif (
@@ -211,14 +221,19 @@ def compare_eager_execution(
     config: Optional[PipelineConfig] = None,
     max_instructions: Optional[int] = None,
     fork_switch_penalty: int = 1,
+    decoded: Optional[DecodedProgram] = None,
 ) -> EagerComparison:
-    """Run the same workload single-path and dual-path and compare."""
+    """Run the same workload single-path and dual-path and compare.
+
+    ``decoded`` optionally shares one pre-decoded program between runs.
+    """
     baseline_predictor = predictor_factory()
     baseline = PipelineSimulator(
         program,
         baseline_predictor,
         config=config,
         estimators={"fork": estimator_factory(baseline_predictor)},
+        decoded=decoded,
     ).run(max_instructions=max_instructions)
 
     eager_predictor = predictor_factory()
@@ -229,6 +244,7 @@ def compare_eager_execution(
         estimators={"fork": estimator_factory(eager_predictor)},
         fork_on="fork",
         fork_switch_penalty=fork_switch_penalty,
+        decoded=decoded,
     )
     eager = eager_simulator.run(max_instructions=max_instructions)
     return EagerComparison(

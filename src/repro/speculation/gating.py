@@ -23,6 +23,7 @@ from ..confidence.base import ConfidenceEstimator
 from ..isa import Program
 from ..pipeline.config import PipelineConfig
 from ..pipeline.core import PipelineResult, PipelineSimulator
+from ..pipeline.decode import DecodedProgram
 from ..predictors.base import BranchPredictor
 
 
@@ -55,8 +56,17 @@ class GatedPipelineSimulator(PipelineSimulator):
         estimators: Optional[Mapping[str, ConfidenceEstimator]] = None,
         gate_on: Optional[str] = None,
         gate_threshold: int = 1,
+        decoded: Optional[DecodedProgram] = None,
+        fast: Optional[bool] = None,
     ):
-        super().__init__(program, predictor, config=config, estimators=estimators)
+        super().__init__(
+            program,
+            predictor,
+            config=config,
+            estimators=estimators,
+            decoded=decoded,
+            fast=fast,
+        )
         available = ", ".join(sorted(self.estimators)) or "<none attached>"
         if gate_on is None or gate_on not in self.estimators:
             raise ValueError(
@@ -130,11 +140,13 @@ def compare_gating(
     gate_threshold: int = 1,
     config: Optional[PipelineConfig] = None,
     max_instructions: Optional[int] = None,
+    decoded: Optional[DecodedProgram] = None,
 ) -> GatingComparison:
     """Run the same workload gated and ungated and compare.
 
     Factories are used (rather than instances) because the two runs
-    need independent predictor/estimator state.
+    need independent predictor/estimator state.  ``decoded`` optionally
+    shares one pre-decoded program between both runs.
     """
     baseline_predictor = predictor_factory()
     baseline = PipelineSimulator(
@@ -142,6 +154,7 @@ def compare_gating(
         baseline_predictor,
         config=config,
         estimators={"gate": estimator_factory(baseline_predictor)},
+        decoded=decoded,
     ).run(max_instructions=max_instructions)
 
     gated_predictor = predictor_factory()
@@ -152,6 +165,7 @@ def compare_gating(
         estimators={"gate": estimator_factory(gated_predictor)},
         gate_on="gate",
         gate_threshold=gate_threshold,
+        decoded=decoded,
     )
     gated = gated_simulator.run(max_instructions=max_instructions)
     return GatingComparison(

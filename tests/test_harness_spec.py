@@ -193,10 +193,13 @@ class TestWarmPlanLegacyEquivalence:
         return kinds
 
     def test_trace_wave_is_the_workload_set(self):
+        # the first wave holds the dependency-free shared artifacts:
+        # one trace and one pre-decoded program per workload
         trace_tasks, __ = plan_warm_tasks(list(EXPERIMENTS), SMOKE)
         assert set(trace_tasks) == {
-            ("trace", (workload, SMOKE.iterations))
+            (kind, (workload, SMOKE.iterations))
             for workload in SMOKE.workloads
+            for kind in ("trace", "program-decoded")
         }
 
     def test_full_battery_heavy_wave_matches_legacy_sets(self):
@@ -239,7 +242,9 @@ class TestWarmPlanLegacyEquivalence:
             plan_artifact_nodes(list(EXPERIMENTS), SMOKE)
         )
         assert len(levels) == 3
-        assert all(node.kind == "trace" for node in levels[0])
+        assert all(
+            node.kind in ("trace", "program-decoded") for node in levels[0]
+        )
         assert all(node.kind != "trace" for node in levels[1])
         # the columnar lowering sits between the trace and everything
         # that replays it
@@ -346,7 +351,7 @@ class TestBenchCli:
         assert exit_code == 0
         assert str(out) in capsys.readouterr().out
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro-bench/2"
+        assert payload["schema"] == "repro-bench/3"
         assert payload["jobs"] == 1
         assert payload["scale"]["workloads"] == list(SMOKE.workloads)
         assert [e["id"] for e in payload["experiments"]] == [
@@ -366,6 +371,10 @@ class TestBenchCli:
         # trace generation is accounted separately from replay
         assert payload["trace_generation"]["branches"] > 0
         assert payload["trace_generation"]["seconds"] > 0
+        # tab1's fetch-to-commit column runs the cycle-level pipeline,
+        # so the repro-bench/3 pipeline section is populated on a cold run
+        assert payload["pipeline"]["branches"] > 0
+        assert payload["pipeline"]["branches_per_second"] > 0
         assert 0.0 <= payload["cache"]["hit_rate"] <= 1.0
         assert payload["session"]["bank_passes"] > 0
         # cold run: the bank subsumed tab1/tab2/tab3 single-purpose passes
@@ -396,11 +405,14 @@ class TestBenchCli:
         payload = json.loads(warm.read_text())
         assert payload["simulation"]["branches"] == 0
         assert payload["simulation"]["branches_per_second"] is None
+        # same null-not-zero discipline for the pipeline section
+        assert payload["pipeline"]["branches"] == 0
+        assert payload["pipeline"]["branches_per_second"] is None
 
     def test_compare_gates(self, tmp_path, capsys):
         def snapshot(path, bps, branches):
             payload = {
-                "schema": "repro-bench/2",
+                "schema": "repro-bench/3",
                 "wall_seconds": 1.0,
                 "simulation": {
                     "branches": branches,
@@ -437,6 +449,42 @@ class TestBenchCli:
             == 1
         )
         assert "n/a" in capsys.readouterr().out
+
+    def test_compare_pipeline_metric(self, tmp_path, capsys):
+        """``--metric pipeline`` gates on the cycle-level section, and an
+        old repro-bench/2 snapshot (no such section) reads as n/a."""
+
+        def snapshot(path, bps, branches, schema="repro-bench/3"):
+            payload = {
+                "schema": schema,
+                "wall_seconds": 1.0,
+                "simulation": {
+                    "branches": 0,
+                    "seconds": 0.0,
+                    "branches_per_second": None,
+                },
+            }
+            if schema == "repro-bench/3":
+                payload["pipeline"] = {
+                    "branches": branches,
+                    "seconds": branches / bps if bps else 0.0,
+                    "branches_per_second": bps,
+                }
+            path.write_text(json.dumps(payload))
+            return str(path)
+
+        slow = snapshot(tmp_path / "slow.json", 40_000.0, 400_000)
+        fast = snapshot(tmp_path / "fast.json", 220_000.0, 400_000)
+        old = snapshot(tmp_path / "old.json", None, 0, schema="repro-bench/2")
+        argv = ["bench", "--metric", "pipeline", "--compare"]
+
+        assert main(argv + [slow, fast, "--min-speedup", "5"]) == 0
+        assert main(argv + [slow, fast, "--min-speedup", "6"]) == 1
+        assert main(argv + [fast, fast, "--max-regression", "0.40"]) == 0
+        assert main(argv + [slow, old, "--min-speedup", "5"]) == 1
+        out = capsys.readouterr().out
+        assert "bench compare (pipeline):" in out
+        assert "n/a" in out
 
 
 class TestReadmeBatteryTable:

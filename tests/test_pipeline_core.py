@@ -106,12 +106,25 @@ class TestSpeculationBehaviour:
         ).run()
         assert slow.stats.cycles > fast.stats.cycles
 
-    def test_max_instructions_truncates(self):
+    def test_max_instructions_commits_exactly_n(self):
+        # the commit stage caps its width to the remaining budget, so
+        # the run never overshoots by up to commit_width-1
         program = small_program(iterations=200)
         result = PipelineSimulator(program, GsharePredictor()).run(
             max_instructions=2000
         )
-        assert 2000 <= result.stats.committed_instructions < 2200
+        assert result.stats.committed_instructions == 2000
+
+    @pytest.mark.parametrize("fast", (False, True))
+    def test_max_instructions_exact_with_wide_commit(self, fast):
+        # a budget that is not a multiple of commit_width forces a
+        # partial final commit group in both engines
+        program = small_program(iterations=200)
+        config = PipelineConfig(commit_width=4)
+        result = PipelineSimulator(
+            program, GsharePredictor(), config=config, fast=fast
+        ).run(max_instructions=1999)
+        assert result.stats.committed_instructions == 1999
 
     def test_ipc_is_bounded_by_widths(self):
         program = small_program(iterations=30)

@@ -1,0 +1,386 @@
+"""The pre-decoded pipeline fast path and its accounting contracts.
+
+Three groups of guarantees:
+
+* **byte identity** -- the fast engine (pre-decoded programs, fused
+  cycle loop, compact predictor protocol, columnar records) must leave
+  *exactly* the state the reference per-instruction engine leaves:
+  stats, every branch-record field, architectural machine state, cache
+  hit/miss counters, estimator quadrants -- for the base simulator and
+  for the gating/eager subclasses (which ride the per-cycle fast fetch
+  stage);
+* **accounting fixes** -- ``max_instructions`` commits exactly N, and a
+  congestion window delays exactly one branch (no double charge across
+  a fetch group);
+* **supporting structures** -- the columnar
+  :class:`~repro.pipeline.records.BranchRecordStore`, the
+  ``*_or_none`` stats accessors, the compact predictor protocol and the
+  pre-decoded program artifact.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.confidence import JRSEstimator
+from repro.pipeline import (
+    PIPELINE_FAST_ENV,
+    BranchRecordStore,
+    DecodedProgram,
+    PipelineConfig,
+    PipelineSimulator,
+    PipelineStats,
+    decode_program,
+    pipeline_fast_enabled,
+)
+from repro.isa import assemble
+from repro.predictors import GsharePredictor, McFarlingPredictor, make_predictor
+from repro.speculation import EagerPipelineSimulator, GatedPipelineSimulator
+from repro.workloads import generate_program, get_profile
+
+RECORD_FIELDS = (
+    "sequence",
+    "pc",
+    "predicted_taken",
+    "actual_taken",
+    "fetch_cycle",
+    "resolve_cycle",
+    "committed",
+    "precise_distance",
+    "perceived_distance",
+    "wrong_path",
+    "assessments",
+)
+
+
+def small_program(name="compress", iterations=40):
+    return generate_program(get_profile(name), iterations=iterations)
+
+
+def assert_equivalent(slow_sim, slow_result, fast_sim, fast_result):
+    assert dataclasses.asdict(slow_result.stats) == dataclasses.asdict(
+        fast_result.stats
+    )
+    slow_records = slow_result.branch_records
+    fast_records = fast_result.branch_records
+    assert len(slow_records) == len(fast_records)
+    for left, right in zip(slow_records, fast_records):
+        for name in RECORD_FIELDS:
+            assert getattr(left, name) == getattr(right, name), name
+    assert slow_sim.machine.regs == fast_sim.machine.regs
+    assert slow_sim.machine.memory == fast_sim.machine.memory
+    assert slow_sim.machine.pc == fast_sim.machine.pc
+    for side in ("icache", "dcache"):
+        slow_cache = getattr(slow_sim, side)
+        fast_cache = getattr(fast_sim, side)
+        assert (slow_cache.hits, slow_cache.misses) == (
+            fast_cache.hits,
+            fast_cache.misses,
+        ), side
+    for table in ("quadrants_committed", "quadrants_all"):
+        slow_quadrants = getattr(slow_result, table)
+        fast_quadrants = getattr(fast_result, table)
+        assert slow_quadrants.keys() == fast_quadrants.keys()
+        for name in slow_quadrants:
+            assert vars(slow_quadrants[name]) == vars(fast_quadrants[name])
+
+
+class TestFastSlowIdentity:
+    @pytest.mark.parametrize("predictor_name", ("gshare", "mcfarling", "sag"))
+    def test_base_simulator_identical(self, predictor_name):
+        program = small_program()
+        runs = []
+        for fast in (False, True):
+            simulator = PipelineSimulator(
+                program, make_predictor(predictor_name), fast=fast
+            )
+            runs.append((simulator, simulator.run()))
+        assert_equivalent(*runs[0], *runs[1])
+
+    @pytest.mark.parametrize("predictor_name", ("gshare", "mcfarling"))
+    def test_with_estimators_identical(self, predictor_name):
+        program = small_program()
+        runs = []
+        for fast in (False, True):
+            simulator = PipelineSimulator(
+                program,
+                make_predictor(predictor_name),
+                estimators={"jrs": JRSEstimator(threshold=15, enhanced=True)},
+                fast=fast,
+            )
+            runs.append((simulator, simulator.run(max_instructions=6_000)))
+        assert_equivalent(*runs[0], *runs[1])
+
+    def test_gated_simulator_identical(self):
+        program = small_program()
+        runs = []
+        for fast in (False, True):
+            predictor = GsharePredictor()
+            simulator = GatedPipelineSimulator(
+                program,
+                predictor,
+                estimators={"gate": JRSEstimator(threshold=15)},
+                gate_on="gate",
+                gate_threshold=1,
+                fast=fast,
+            )
+            runs.append((simulator, simulator.run(max_instructions=6_000)))
+        assert_equivalent(*runs[0], *runs[1])
+
+    def test_eager_simulator_identical(self):
+        program = small_program()
+        runs = []
+        for fast in (False, True):
+            predictor = GsharePredictor()
+            simulator = EagerPipelineSimulator(
+                program,
+                predictor,
+                estimators={"fork": JRSEstimator(threshold=15)},
+                fork_on="fork",
+                fast=fast,
+            )
+            runs.append((simulator, simulator.run(max_instructions=6_000)))
+        assert_equivalent(*runs[0], *runs[1])
+        # the fork counters live on the simulator, not the result; the
+        # wasted-slot count in particular depends on _fetch_width()
+        # being consulted on exactly the same cycles in both engines
+        slow_sim, fast_sim = runs[0][0], runs[1][0]
+        assert slow_sim.eager_forks == fast_sim.eager_forks
+        assert slow_sim.eager_covered == fast_sim.eager_covered
+        assert slow_sim.eager_wasted_slots == fast_sim.eager_wasted_slots
+
+    def test_shared_decoded_instance_identical(self):
+        program = small_program()
+        decoded = decode_program(program)
+        reference = PipelineSimulator(program, GsharePredictor(), fast=False)
+        shared = PipelineSimulator(
+            program, GsharePredictor(), decoded=decoded, fast=True
+        )
+        assert_equivalent(reference, reference.run(), shared, shared.run())
+
+    def test_early_stop_then_step_cycle_continues_identically(self):
+        # an early-stopped fused run leaves normal _Inflight entries
+        # (compact prediction tokens included) that the per-cycle
+        # engine can drain to the same final state
+        program = small_program()
+        fast_sim = PipelineSimulator(program, GsharePredictor(), fast=True)
+        fast_sim.run(max_instructions=900)
+        while not fast_sim.done:
+            fast_sim.step_cycle()
+        slow_sim = PipelineSimulator(program, GsharePredictor(), fast=False)
+        slow_sim.run()
+        assert fast_sim.machine.regs == slow_sim.machine.regs
+        assert fast_sim.machine.memory == slow_sim.machine.memory
+        assert (
+            fast_sim.stats.committed_instructions
+            == slow_sim.stats.committed_instructions
+        )
+
+
+CONGESTION_PROGRAM = """
+        lw   r1, 0(r0)
+        bne  r1, r0, target
+        bne  r1, r0, target
+        halt
+target: halt
+"""
+
+
+class TestCongestionSingleCharge:
+    @pytest.mark.parametrize("fast", (False, True))
+    def test_one_miss_window_delays_exactly_one_branch(self, fast):
+        # fetch_width=2 puts the load + first branch in one fetch
+        # group and the second branch in the next cycle's group: the
+        # cold-miss congestion window must charge the first branch
+        # (and be consumed), leaving the second branch unpenalized
+        program = assemble(CONGESTION_PROGRAM)
+        config = PipelineConfig(fetch_width=2, commit_width=4, window=16)
+        simulator = PipelineSimulator(
+            program, GsharePredictor(), config=config, fast=fast
+        )
+        for __ in range(40):
+            simulator.step_cycle()
+            branches = [
+                entry for entry in simulator._inflight if entry.is_branch
+            ]
+            if len(branches) == 2:
+                break
+        else:
+            pytest.fail("both branches never in flight together")
+        first, second = branches
+        store = simulator.records
+        assert first.ready_cycle == (
+            store.fetch_cycle[0]
+            + config.resolve_stage
+            + config.dcache.miss_penalty
+        )
+        assert second.ready_cycle == (
+            store.fetch_cycle[1] + config.resolve_stage
+        )
+        # the charge consumed the window outright
+        assert simulator._congestion == 0
+
+
+class TestBranchRecordStore:
+    def build(self):
+        store = BranchRecordStore()
+        first = store.append(
+            sequence=0,
+            pc=4,
+            predicted_taken=True,
+            actual_taken=True,
+            fetch_cycle=2,
+            precise_distance=0,
+            perceived_distance=0,
+            wrong_path=False,
+            assessments={"jrs": True},
+        )
+        second = store.append(
+            sequence=1,
+            pc=9,
+            predicted_taken=False,
+            actual_taken=True,
+            fetch_cycle=3,
+            precise_distance=1,
+            perceived_distance=1,
+            wrong_path=True,
+            assessments=None,
+        )
+        return store, first, second
+
+    def test_append_resolve_squash_materialize(self):
+        store, first, second = self.build()
+        store.resolve(first, 9)
+        store.squash(second)
+        records = store.materialize()
+        assert len(store) == len(records) == 2
+        assert records[0].committed and records[0].resolve_cycle == 9
+        assert not records[0].mispredicted
+        assert not records[1].committed and records[1].resolve_cycle is None
+        assert records[1].mispredicted  # predicted != actual
+        assert records[1].assessments == {}
+
+    def test_materialize_is_memoised_until_mutation(self):
+        store, first, __ = self.build()
+        views = store.materialize()
+        assert store.materialize() is views
+        store.resolve(first, 5)
+        fresh = store.materialize()
+        assert fresh is not views
+        assert fresh[0].resolve_cycle == 5
+
+    def test_pickle_round_trip(self):
+        store, first, __ = self.build()
+        store.resolve(first, 7)
+        clone = pickle.loads(pickle.dumps(store))
+        assert len(clone) == len(store)
+        for left, right in zip(store.materialize(), clone.materialize()):
+            for name in RECORD_FIELDS:
+                assert getattr(left, name) == getattr(right, name), name
+
+
+class TestStatsOrNone:
+    def test_empty_run_reports_none_not_zero(self):
+        stats = PipelineStats()
+        assert stats.fetch_to_commit_ratio_or_none() is None
+        assert stats.committed_accuracy_or_none() is None
+        assert stats.all_accuracy_or_none() is None
+        assert stats.ipc_or_none() is None
+        # legacy float properties keep their 0.0 default
+        assert stats.fetch_to_commit_ratio == 0.0
+        assert stats.committed_accuracy == 0.0
+        assert stats.all_accuracy == 0.0
+        assert stats.ipc == 0.0
+
+    def test_populated_run_agrees_with_properties(self):
+        result = PipelineSimulator(small_program(), GsharePredictor()).run()
+        stats = result.stats
+        assert stats.fetch_to_commit_ratio_or_none() == pytest.approx(
+            stats.fetch_to_commit_ratio
+        )
+        assert stats.committed_accuracy_or_none() == pytest.approx(
+            stats.committed_accuracy
+        )
+        assert stats.ipc_or_none() == pytest.approx(stats.ipc)
+
+
+class TestCompactPredictorProtocol:
+    @pytest.mark.parametrize("cls", (GsharePredictor, McFarlingPredictor))
+    def test_compact_resolution_matches_full(self, cls):
+        # drive both protocols with the same outcome stream, resolving
+        # a few predictions behind fetch the way the pipeline does;
+        # tables and history must stay bit-identical
+        full, compact = cls(table_size=64), cls(table_size=64)
+        pending = []
+        seed = 0xACE1
+        for step in range(600):
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+            pc = (seed >> 5) % 19
+            taken = bool(seed & 0x4000)
+            prediction = full.predict(pc)
+            fast_taken, token = compact.predict_compact(pc)
+            assert fast_taken == prediction.taken
+            pending.append((pc, taken, prediction, token))
+            if len(pending) >= 3:  # resolve_stage-deep backlog
+                pc, taken, prediction, token = pending.pop(0)
+                full.resolve(pc, taken, prediction)
+                compact.resolve_compact(pc, taken, token)
+        for pc, taken, prediction, token in pending:
+            full.resolve(pc, taken, prediction)
+            compact.resolve_compact(pc, taken, token)
+        assert full.history.value == compact.history.value
+        if cls is GsharePredictor:
+            assert full.table.values == compact.table.values
+        else:
+            assert full.gshare_table.values == compact.gshare_table.values
+            assert full.bimodal_table.values == compact.bimodal_table.values
+            assert full.meta_table.values == compact.meta_table.values
+
+
+class TestDecodedProgram:
+    def test_run_lengths_stop_at_control_and_memory(self):
+        program = assemble(
+            """
+            addi r1, r0, 1
+            addi r2, r0, 2
+            lw   r3, 0(r0)
+            addi r4, r0, 4
+            bne  r1, r0, 6
+            addi r5, r0, 5
+            halt
+            """
+        )
+        decoded = decode_program(program)
+        assert decoded.run_len[0] == 2  # two ALU ops, then the load
+        assert decoded.run_len[1] == 1
+        assert decoded.run_len[2] == 0  # load is not a plain run
+        assert decoded.run_len[3] == 1  # ALU op, then the branch
+        assert decoded.run_len[4] == 0
+
+    def test_pickle_round_trip_rebuilds_closures(self):
+        program = small_program(iterations=5)
+        decoded = decode_program(program)
+        clone = pickle.loads(pickle.dumps(decoded))
+        assert clone.kinds == decoded.kinds
+        assert clone.run_len == decoded.run_len
+        assert clone.imm == decoded.imm
+        # closures are process-local: the clone rebuilds them lazily
+        # and the rebuilt engine is byte-identical
+        simulator = PipelineSimulator(
+            program, GsharePredictor(), decoded=clone, fast=True
+        )
+        reference = PipelineSimulator(program, GsharePredictor(), fast=False)
+        assert_equivalent(
+            reference, reference.run(), simulator, simulator.run()
+        )
+
+    def test_env_gate_disables_fast_path(self, monkeypatch):
+        monkeypatch.setenv(PIPELINE_FAST_ENV, "0")
+        assert not pipeline_fast_enabled()
+        simulator = PipelineSimulator(small_program(iterations=5), GsharePredictor())
+        assert simulator._decoded is None
+        monkeypatch.setenv(PIPELINE_FAST_ENV, "1")
+        assert pipeline_fast_enabled()
+        simulator = PipelineSimulator(small_program(iterations=5), GsharePredictor())
+        assert isinstance(simulator._decoded, DecodedProgram)

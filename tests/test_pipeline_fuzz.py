@@ -14,6 +14,8 @@ bug in squash/rollback, journal handling, history repair or fetch
 gating shows up as an architectural-state divergence here.
 """
 
+import dataclasses
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -145,6 +147,85 @@ def test_pipeline_equals_machine_on_random_programs(profile, config, predictor_n
     # every record is consistent
     for record in result.branch_records:
         assert (record.resolve_cycle is not None) == record.committed
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    workload_profiles(),
+    pipeline_configs(),
+    st.sampled_from(("gshare", "mcfarling", "sag")),
+    st.booleans(),
+    st.sampled_from((None, 7, 60, 500)),
+)
+def test_fast_engine_equals_reference_engine(
+    profile, config, predictor_name, with_estimators, budget
+):
+    """Fast/slow byte identity under fuzzed programs and geometries.
+
+    Covers early stops (``budget``), misprediction recovery (random
+    predictors on random branch mixes) and cache-miss congestion (the
+    tiny fuzz cache geometries miss constantly), with and without
+    estimators attached -- the full cross product the golden CI report
+    legs only sample.
+    """
+    program = generate_program(profile)
+    runs = []
+    for fast in (False, True):
+        estimators = (
+            {"jrs": JRSEstimator(table_size=256, threshold=7)}
+            if with_estimators
+            else {}
+        )
+        simulator = PipelineSimulator(
+            program,
+            make_predictor(predictor_name),
+            config=config,
+            estimators=estimators,
+            fast=fast,
+        )
+        runs.append((simulator, simulator.run(max_instructions=budget)))
+    (slow_sim, slow), (fast_sim, fast) = runs
+    assert dataclasses.asdict(slow.stats) == dataclasses.asdict(fast.stats)
+    assert slow_sim.machine.regs == fast_sim.machine.regs
+    assert slow_sim.machine.memory == fast_sim.machine.memory
+    assert slow_sim.machine.pc == fast_sim.machine.pc
+    for side in ("icache", "dcache"):
+        slow_cache = getattr(slow_sim, side)
+        fast_cache = getattr(fast_sim, side)
+        assert (slow_cache.hits, slow_cache.misses) == (
+            fast_cache.hits,
+            fast_cache.misses,
+        )
+    slow_records = slow.branch_records
+    fast_records = fast.branch_records
+    assert len(slow_records) == len(fast_records)
+    for left, right in zip(slow_records, fast_records):
+        assert (
+            left.pc,
+            left.predicted_taken,
+            left.actual_taken,
+            left.fetch_cycle,
+            left.resolve_cycle,
+            left.committed,
+            left.precise_distance,
+            left.perceived_distance,
+            left.wrong_path,
+            left.assessments,
+        ) == (
+            right.pc,
+            right.predicted_taken,
+            right.actual_taken,
+            right.fetch_cycle,
+            right.resolve_cycle,
+            right.committed,
+            right.precise_distance,
+            right.perceived_distance,
+            right.wrong_path,
+            right.assessments,
+        )
+    if budget is not None:
+        # the commit stage never overshoots the instruction budget
+        assert fast.stats.committed_instructions <= budget
 
 
 @settings(max_examples=15, deadline=None)
