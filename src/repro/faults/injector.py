@@ -243,3 +243,40 @@ def ensure_state_dir() -> Optional[str]:
     else:
         Path(state).mkdir(parents=True, exist_ok=True)
     return state
+
+
+def release_state_dir(state: str) -> None:
+    """Tear down a supervisor-*owned* occurrence-state directory.
+
+    The inverse of :func:`ensure_state_dir`'s auto-creation branch.
+    Without this, the exported ``REPRO_FAULTS_STATE`` tempdir -- and
+    every ``spec<i>.occ<n>`` claim marker in it -- outlived the battery
+    that created it, so a second supervised battery in the same process
+    inherited stale occurrence numbers: a ``times=1`` fault that had
+    already fired (plus its retry claim) would never fire again, and
+    ``after=N`` windows shifted arbitrarily.  Callers that *inherited*
+    an externally-set state dir (CI chaos legs sharing a ledger across
+    a kill/resume pair) must not call this; the supervisor only
+    releases directories it created.
+
+    Best-effort: only this module's claim markers are removed, the
+    directory is deleted only if that leaves it empty, and the
+    environment export is dropped only if it still points here.  The
+    active registry is reset either way so the next use re-reads the
+    environment.
+    """
+    root = Path(state)
+    try:
+        for marker in root.glob("spec*.occ*"):
+            try:
+                marker.unlink()
+            except OSError:
+                pass
+        try:
+            root.rmdir()
+        except OSError:
+            pass
+    finally:
+        if os.environ.get(STATE_ENV) == state:
+            os.environ.pop(STATE_ENV, None)
+        reset_active_faults()

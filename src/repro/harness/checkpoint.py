@@ -29,12 +29,15 @@ CHECKPOINT_KIND = "checkpoint"
 def spec_fingerprint(experiment_id: str, scale: Scale) -> str:
     """Digest of an experiment's declared inputs at one scale.
 
-    Covers the spec's artifact dependency declarations and the profile
-    fingerprints of the workloads it will run over, so a checkpoint
-    goes stale when an experiment starts depending on different
-    artifacts (or a workload profile changes) -- not just when the
-    cache salt is bumped.  Unregistered ids hash to a constant, keeping
-    the key stable for ad-hoc experiment functions.
+    Covers the spec's artifact dependency declarations, the profile
+    fingerprints of the workloads it will run over, *and* the scale's
+    simulation budgets (iterations, pipeline instruction budget,
+    segment size), so a checkpoint goes stale when an experiment starts
+    depending on different artifacts, a workload profile changes, or
+    the budgets it was measured under change -- ``--resume`` after a
+    scale bump must re-run, never silently reuse a smaller-budget
+    result.  Unregistered ids hash to a constant, keeping the key
+    stable for ad-hoc experiment functions.
     """
     spec = SPECS.get(experiment_id)
     payload = {
@@ -44,6 +47,11 @@ def spec_fingerprint(experiment_id: str, scale: Scale) -> str:
         "profiles": {
             workload: profile_fingerprint(workload)
             for workload in scale.workloads
+        },
+        "budgets": {
+            "iterations": scale.iterations,
+            "pipeline_instructions": scale.pipeline_instructions,
+            "segment_instructions": scale.segment_instructions,
         },
     }
     digest = hashlib.sha256(

@@ -59,17 +59,10 @@ from ..engine import (
     profile_fingerprint,
     record_pipeline_simulation,
     vector_enabled,
-    workload_program,
     workload_run,
 )
 from ..metrics import QuadrantCounts, average_quadrants, figure1_family
-from ..pipeline import (
-    PipelineConfig,
-    PipelineSimulator,
-    clear_decoded_cache,
-    decoded_run,
-    pipeline_fast_enabled,
-)
+from ..pipeline import PipelineConfig, clear_decoded_cache
 from ..predictors import make_predictor
 from ..workloads import SUITE
 from . import paper_values
@@ -119,9 +112,19 @@ class Scale:
     iterations: Optional[int] = None
     pipeline_instructions: int = 750_000
     workloads: Tuple[str, ...] = SUITE
+    #: Soft segment size for pipeline cells (``None``/0 = whole runs).
+    #: Segmented cells checkpoint a ``pipeline-segment`` snapshot at
+    #: every boundary, making long runs shardable and resumable
+    #: mid-cell; the final results are byte-identical either way.
+    segment_instructions: Optional[int] = None
 
     def key(self) -> Tuple:
-        return (self.iterations, self.pipeline_instructions, self.workloads)
+        return (
+            self.iterations,
+            self.pipeline_instructions,
+            self.workloads,
+            self.segment_instructions,
+        )
 
 
 # the pre-decoded pipeline fast path (~5x branches/s) pays for 5x
@@ -134,9 +137,21 @@ SMOKE = Scale(
     pipeline_instructions=8_000,
     workloads=("compress", "vortex"),
 )
+#: Paper-size pipeline budgets (~20x full), practical only because
+#: segmented cells checkpoint and shard across processes.
+PAPER = Scale(
+    iterations=None,
+    pipeline_instructions=15_000_000,
+    segment_instructions=750_000,
+)
 
 #: Named scale presets the CLI exposes as ``--scale``.
-SCALES: Dict[str, Scale] = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
+SCALES: Dict[str, Scale] = {
+    "smoke": SMOKE,
+    "quick": QUICK,
+    "full": FULL,
+    "paper": PAPER,
+}
 
 
 @dataclass
@@ -235,27 +250,22 @@ def _compute_pipeline_result(
     iterations: Optional[int],
     max_instructions: int,
     with_estimators: bool,
+    segment_instructions: Optional[int] = None,
 ):
-    program = workload_program(workload, iterations)
-    predictor = make_predictor(predictor_name)
-    estimators = {}
-    if with_estimators:
-        estimators = {
-            "jrs": JRSEstimator(threshold=15, enhanced=True),
-            "satcnt": SaturatingCountersEstimator.for_predictor(predictor),
-        }
-    # the fast path reads the shared pre-decoded artifact (warmed by
-    # the DAG scheduler; a cheap decode on a cold cache)
-    decoded = decoded_run(workload, iterations) if pipeline_fast_enabled() else None
-    simulator = PipelineSimulator(
-        program,
-        predictor,
-        config=PipelineConfig(),
-        estimators=estimators,
-        decoded=decoded,
-    )
+    # simulator construction and the (optionally segmented) run both
+    # live in repro.harness.shard so segment chains start from state
+    # identical to a whole-cell run
+    from .shard import run_segmented
+
     started = time.perf_counter()
-    result = simulator.run(max_instructions=max_instructions)
+    result = run_segmented(
+        workload,
+        predictor_name,
+        iterations,
+        max_instructions,
+        with_estimators,
+        segment_instructions,
+    )
     record_pipeline_simulation(
         result.stats.fetched_branches, time.perf_counter() - started
     )
@@ -269,11 +279,20 @@ def _pipeline_result(
     iterations: Optional[int],
     max_instructions: int,
     with_estimators: bool = False,
+    segment_instructions: Optional[int] = None,
 ):
+    # the segment size is deliberately NOT part of the final artifact's
+    # key: segmentation cannot change the result (equivalence-tested),
+    # so whole and segmented runs share one ``pipeline`` artifact
     return get_cache().cached(
         "pipeline",
         lambda: _compute_pipeline_result(
-            workload, predictor_name, iterations, max_instructions, with_estimators
+            workload,
+            predictor_name,
+            iterations,
+            max_instructions,
+            with_estimators,
+            segment_instructions,
         ),
         workload=workload,
         predictor=predictor_name,
@@ -581,7 +600,11 @@ def experiment_table1(scale: Scale = FULL) -> ExperimentResult:
         }
         accuracies[workload] = accs
         pipe = _pipeline_result(
-            workload, "gshare", scale.iterations, scale.pipeline_instructions
+            workload,
+            "gshare",
+            scale.iterations,
+            scale.pipeline_instructions,
+            segment_instructions=scale.segment_instructions,
         )
         # metric_or_none policy: an empty pipeline run renders as n/a,
         # never as a fabricated 0.00 ratio
@@ -894,7 +917,11 @@ def _distance_figure(
     committed_curves = []
     for workload in scale.workloads:
         records = _pipeline_result(
-            workload, predictor_name, scale.iterations, scale.pipeline_instructions
+            workload,
+            predictor_name,
+            scale.iterations,
+            scale.pipeline_instructions,
+            segment_instructions=scale.segment_instructions,
         ).branch_records
         all_curves.append(curve_fn(records, population="all"))
         committed_curves.append(curve_fn(records, population="committed"))

@@ -86,6 +86,7 @@ from .experiments import (
     measurement_cell,
     run_experiment,
 )
+from .shard import segment_count, warm_segment
 from .spec import SPECS, ArtifactNode, measurement_plan, topological_levels
 from .speculation import eager_cell, gating_cell, inversion_cell
 
@@ -228,16 +229,52 @@ def plan_artifact_nodes(
                     decoded = add(
                         "program-decoded", (workload, scale.iterations)
                     )
-                    add(
-                        "pipeline",
-                        (
-                            workload,
-                            dep.predictor,
-                            scale.iterations,
-                            scale.pipeline_instructions,
-                        ),
-                        deps=(trace, decoded),
+                    chain = segment_count(
+                        scale.pipeline_instructions,
+                        scale.segment_instructions,
                     )
+                    if chain:
+                        # segmented cell: a chain of dependent segment
+                        # nodes (each resumes the previous snapshot),
+                        # then the final run reading the last snapshot;
+                        # independent cells parallelise, chains don't
+                        previous = (trace, decoded)
+                        for index in range(chain):
+                            segment = add(
+                                "pipeline-segment",
+                                (
+                                    workload,
+                                    dep.predictor,
+                                    scale.iterations,
+                                    scale.pipeline_instructions,
+                                    scale.segment_instructions,
+                                    index,
+                                ),
+                                deps=previous,
+                            )
+                            previous = (segment,)
+                        add(
+                            "pipeline",
+                            (
+                                workload,
+                                dep.predictor,
+                                scale.iterations,
+                                scale.pipeline_instructions,
+                                scale.segment_instructions,
+                            ),
+                            deps=(trace, decoded) + previous,
+                        )
+                    else:
+                        add(
+                            "pipeline",
+                            (
+                                workload,
+                                dep.predictor,
+                                scale.iterations,
+                                scale.pipeline_instructions,
+                            ),
+                            deps=(trace, decoded),
+                        )
                 elif dep.kind == "measurement":
                     families = families_by_predictor.get(
                         dep.predictor, tuple(sorted(set(dep.families)))
@@ -292,6 +329,25 @@ def plan_artifact_nodes(
     return list(nodes.values())
 
 
+def plan_warm_levels(
+    selected: Sequence[str],
+    scale: Scale,
+    measurement_families: Optional[MeasurementPlan] = None,
+) -> List[List[WarmTask]]:
+    """The artifact warm-up schedule, one task wave per DAG level.
+
+    A task only ever runs after every artifact it depends on exists;
+    tasks within one wave are independent and run concurrently.  This
+    is what keeps a segmented cell's ``pipeline-segment`` chain ordered
+    (segment ``i`` sits one level below segment ``i + 1``) while
+    independent (workload, predictor) cells shard across the pool.
+    """
+    levels = topological_levels(
+        plan_artifact_nodes(selected, scale, measurement_families)
+    )
+    return [[node.key for node in level] for level in levels]
+
+
 def plan_warm_tasks(
     selected: Sequence[str],
     scale: Scale,
@@ -299,20 +355,16 @@ def plan_warm_tasks(
 ) -> Tuple[List[WarmTask], List[WarmTask]]:
     """The artifact warm-up plan for ``selected`` at ``scale``.
 
-    Derived from the declared artifact DAG: tasks are grouped by
-    topological level, so a task only ever runs after the artifacts it
-    depends on exist.  Returns ``(trace_tasks, heavy_tasks)`` -- the
-    first level (the shared workload traces) and the flattened
-    remaining levels.
+    Legacy two-wave view over :func:`plan_warm_levels`: returns
+    ``(trace_tasks, heavy_tasks)`` -- the first level (the shared
+    workload traces) and the flattened remaining levels.
     """
-    levels = topological_levels(
-        plan_artifact_nodes(selected, scale, measurement_families)
-    )
+    levels = plan_warm_levels(selected, scale, measurement_families)
     trace_tasks: List[WarmTask] = []
     heavy_tasks: List[WarmTask] = []
     for depth, level in enumerate(levels):
-        for node in level:
-            (trace_tasks if depth == 0 else heavy_tasks).append(node.key)
+        for task in level:
+            (trace_tasks if depth == 0 else heavy_tasks).append(task)
     return trace_tasks, heavy_tasks
 
 
@@ -361,8 +413,34 @@ def _warm_worker(task: WarmTask) -> Tuple[CacheStats, MetricsSnapshot, float]:
         if pipeline_fast_enabled():
             decoded_run(workload, iterations)
     elif kind == "pipeline":
-        workload, predictor, iterations, max_instructions = args
-        _pipeline_result(workload, predictor, iterations, max_instructions)
+        # segmented cells carry the segment size as a fifth element
+        workload, predictor, iterations, max_instructions = args[:4]
+        segment_instructions = args[4] if len(args) > 4 else None
+        _pipeline_result(
+            workload,
+            predictor,
+            iterations,
+            max_instructions,
+            segment_instructions=segment_instructions,
+        )
+    elif kind == "pipeline-segment":
+        (
+            workload,
+            predictor,
+            iterations,
+            max_instructions,
+            segment_instructions,
+            segment,
+        ) = args
+        warm_segment(
+            workload,
+            predictor,
+            iterations,
+            max_instructions,
+            False,
+            segment_instructions,
+            segment,
+        )
     elif kind == "measurement":
         predictor, workload, iterations, families = args
         measurement_cell(predictor, workload, iterations, tuple(families))
@@ -573,12 +651,10 @@ class _Supervisor:
         recycles the pool and abandons the rest of the warm-up.
         """
         cache = artifact_cache.get_cache()
-        trace_tasks, heavy_tasks = plan_warm_tasks(
-            self.selected, self.scale, self.plan
-        )
+        waves = plan_warm_levels(self.selected, self.scale, self.plan)
         if not cache.enabled:
             return
-        for wave in (trace_tasks, heavy_tasks):
+        for wave in waves:
             if not wave or self.pool is None:
                 continue
             try:
@@ -752,36 +828,48 @@ class _Supervisor:
         return retry
 
     def run(self) -> Dict[str, ExperimentResult]:
-        faults.ensure_state_dir()
-        pending = list(self.selected)
-        round_number = 0
-        while pending and not self.pool_unavailable:
-            if round_number > 0:
-                # deterministic, jitter-free backoff: identical runs
-                # retry on an identical schedule
-                time.sleep(self.backoff_s * (2 ** (round_number - 1)))
-            pending = self._attempt_round(pending)
-            round_number += 1
-        # a healthy pool shuts down gracefully; hung pools were already
-        # recycled inside the round that saw them hang
-        pool, self.pool = self.pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+        # a state dir this supervisor creates is released when the
+        # battery ends: leaking the exported tempdir (and its claim
+        # markers) made a second battery in the same process inherit
+        # stale occurrence numbers, so its `times=1` faults never fired
+        inherited_state = os.environ.get(faults.STATE_ENV)
+        state_dir = faults.ensure_state_dir()
+        owns_state = state_dir is not None and not inherited_state
+        try:
+            pending = list(self.selected)
+            round_number = 0
+            while pending and not self.pool_unavailable:
+                if round_number > 0:
+                    # deterministic, jitter-free backoff: identical runs
+                    # retry on an identical schedule
+                    time.sleep(self.backoff_s * (2 ** (round_number - 1)))
+                pending = self._attempt_round(pending)
+                round_number += 1
+            # a healthy pool shuts down gracefully; hung pools were
+            # already recycled inside the round that saw them hang
+            pool, self.pool = self.pool, None
+            if pool is not None:
+                pool.shutdown(wait=True)
 
-        unresolved = [eid for eid in self.selected if eid not in self.results]
-        if unresolved:
-            # graceful degradation: exhausted/fatal/unschedulable
-            # experiments run serially in the parent, in selection
-            # order, so the battery completes iff a serial run would
-            self.results.update(
-                _run_serially(
-                    unresolved,
-                    self.scale,
-                    self.journal,
-                    measurement_families=self.plan,
+            unresolved = [
+                eid for eid in self.selected if eid not in self.results
+            ]
+            if unresolved:
+                # graceful degradation: exhausted/fatal/unschedulable
+                # experiments run serially in the parent, in selection
+                # order, so the battery completes iff a serial run would
+                self.results.update(
+                    _run_serially(
+                        unresolved,
+                        self.scale,
+                        self.journal,
+                        measurement_families=self.plan,
+                    )
                 )
-            )
-        return {eid: self.results[eid] for eid in self.selected}
+            return {eid: self.results[eid] for eid in self.selected}
+        finally:
+            if owns_state:
+                faults.release_state_dir(state_dir)
 
 
 def run_parallel(

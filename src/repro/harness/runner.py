@@ -83,6 +83,8 @@ def plan_resume(path: Union[str, Path]) -> ResumePlan:
                     iterations=raw_scale.get("iterations"),
                     pipeline_instructions=raw_scale["pipeline_instructions"],
                     workloads=tuple(raw_scale["workloads"]),
+                    # absent in pre-segmentation journals: resume as whole runs
+                    segment_instructions=raw_scale.get("segment_instructions"),
                 )
             except (KeyError, TypeError):
                 scale = None
@@ -150,6 +152,7 @@ def run_all(
         scale={
             "iterations": scale.iterations,
             "pipeline_instructions": scale.pipeline_instructions,
+            "segment_instructions": scale.segment_instructions,
             "workloads": list(scale.workloads),
         },
     )
@@ -369,6 +372,9 @@ def render_report(
     to the battery-performance section.
     """
     timestamp = (clock or _default_clock)()
+    # Note: the scale line deliberately omits segment_instructions --
+    # segmentation is an execution strategy, not an input, and a
+    # segmented report must stay byte-identical to the whole-run one.
     lines: List[str] = [
         "# Experiment report",
         "",

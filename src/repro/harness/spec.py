@@ -52,6 +52,7 @@ DEP_KINDS = (
     "trace-columnar",
     "program-decoded",
     "pipeline",
+    "pipeline-segment",
     "measurement",
     "gating",
     "eager",

@@ -41,7 +41,30 @@ class MachineFault(RuntimeError):
     """
 
 
-_MISSING = object()
+class _MissingSentinel:
+    """Undo-log marker for "address was unmapped before this store".
+
+    A plain ``object()`` would lose its identity across pickling, and
+    :meth:`Machine.restore` compares with ``is`` -- so a machine that
+    went through a snapshot/pickle round trip (pipeline segment
+    checkpoints) would silently stop unmapping addresses on rollback.
+    ``__reduce__`` pins every unpickle to the module-level singleton.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<missing>"
+
+    def __reduce__(self):
+        return (_missing_sentinel, ())
+
+
+_MISSING = _MissingSentinel()
+
+
+def _missing_sentinel() -> "_MissingSentinel":
+    return _MISSING
 
 
 @dataclass(frozen=True)

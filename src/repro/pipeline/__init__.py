@@ -12,6 +12,13 @@ from .decode import (
     pipeline_fast_enabled,
 )
 from .records import BranchRecord, BranchRecordStore, PipelineStats
+from .snapshot import (
+    SNAPSHOT_SCHEMA,
+    PipelineSnapshot,
+    SnapshotError,
+    capture_snapshot,
+    restore_snapshot,
+)
 
 __all__ = [
     "Cache",
@@ -28,4 +35,9 @@ __all__ = [
     "decode_program",
     "decoded_run",
     "pipeline_fast_enabled",
+    "SNAPSHOT_SCHEMA",
+    "PipelineSnapshot",
+    "SnapshotError",
+    "capture_snapshot",
+    "restore_snapshot",
 ]

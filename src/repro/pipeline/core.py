@@ -256,6 +256,7 @@ class PipelineSimulator:
         self,
         max_cycles: int = 10_000_000,
         max_instructions: Optional[int] = None,
+        stop_instructions: Optional[int] = None,
     ) -> PipelineResult:
         """Simulate until the program halts (committed) or a limit hits.
 
@@ -264,10 +265,20 @@ class PipelineSimulator:
         group rather than overshooting by up to ``commit_width - 1``,
         so fixed-work comparisons (gated vs. baseline IPC) measure
         identical instruction counts.
+
+        ``stop_instructions`` is a *soft* segment boundary for
+        checkpointable runs: the loop pauses (checked only at the top
+        of a cycle) once at least that many instructions have
+        committed, without influencing commit-group widths -- so
+        calling ``run`` again with the same ``max_instructions``
+        continues the simulation cycle-for-cycle identically to a run
+        that never paused.  A segment may therefore overshoot the soft
+        boundary by up to ``commit_width - 1`` instructions; only the
+        hard ``max_instructions`` budget truncates exactly.
         """
         if self._decoded is not None and type(self) is PipelineSimulator:
             # no subclass hooks to honour: run the fused fast loop
-            return self._run_fast(max_cycles, max_instructions)
+            return self._run_fast(max_cycles, max_instructions, stop_instructions)
         self._max_instructions = max_instructions
         try:
             while not self._program_done and self._cycle < max_cycles:
@@ -276,13 +287,21 @@ class PipelineSimulator:
                     and self.stats.committed_instructions >= max_instructions
                 ):
                     break
+                if (
+                    stop_instructions is not None
+                    and self.stats.committed_instructions >= stop_instructions
+                ):
+                    break
                 self.step_cycle()
         finally:
             self._max_instructions = None
         return self.result()
 
     def _run_fast(
-        self, max_cycles: int, max_instructions: Optional[int]
+        self,
+        max_cycles: int,
+        max_instructions: Optional[int],
+        stop_instructions: Optional[int] = None,
     ) -> PipelineResult:
         """Fused cycle loop over the pre-decoded program.
 
@@ -324,6 +343,27 @@ class PipelineSimulator:
         exact.
         """
         self._max_instructions = max_instructions
+        # a resumed run (earlier soft stop, or an unpickled snapshot)
+        # holds _Inflight objects; convert them back to the list layout
+        # this loop indexes by slot (inverse of the finally block below)
+        queue = self._inflight
+        for position, entry in enumerate(queue):
+            if type(entry) is not _Inflight:
+                continue
+            queue[position] = [
+                entry.sequence,
+                entry.pc,
+                entry.count,
+                entry.is_branch,
+                entry.is_halt,
+                entry.prediction,
+                entry.assessments or None,
+                entry.actual_taken,
+                entry.mispredicted,
+                entry.snapshot,
+                entry.ready_cycle,
+                entry.record_index,
+            ]
         records = self.records
         stats = self.stats
         machine = self.machine
@@ -449,8 +489,11 @@ class PipelineSimulator:
             rec_assessments_append = records.assessments.append
             record_count = len(records.sequence)
             limit = max_instructions
+            stop = stop_instructions
             while not program_done and cycle < max_cycles:
                 if limit is not None and committed_instructions >= limit:
+                    break
+                if stop is not None and committed_instructions >= stop:
                     break
                 # ---- commit/resolve stage (mirrors _commit_stage) ----
                 if inflight and inflight[0][10] <= cycle:

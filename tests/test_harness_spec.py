@@ -443,12 +443,16 @@ class TestBenchCli:
             main(["bench", "--compare", fast, fast, "--max-regression", "0.25"])
             == 0
         )
-        # a warm snapshot has no throughput: gate must fail, table "n/a"
+        # a warm snapshot has no throughput: the row renders "n/a" and
+        # the gates are skipped (exit 0) -- an incomparable pair is not
+        # a regression (see TestBenchCompareIncomparable)
         assert (
             main(["bench", "--compare", slow, warm, "--min-speedup", "10"])
-            == 1
+            == 0
         )
-        assert "n/a" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "n/a" in out
+        assert "skip: candidate has no replay branches/s" in out
 
     def test_compare_pipeline_metric(self, tmp_path, capsys):
         """``--metric pipeline`` gates on the cycle-level section, and an
@@ -481,10 +485,70 @@ class TestBenchCli:
         assert main(argv + [slow, fast, "--min-speedup", "5"]) == 0
         assert main(argv + [slow, fast, "--min-speedup", "6"]) == 1
         assert main(argv + [fast, fast, "--max-regression", "0.40"]) == 0
-        assert main(argv + [slow, old, "--min-speedup", "5"]) == 1
+        # a pre-repro-bench/3 snapshot has no pipeline section: the
+        # gate is skipped rather than failed
+        assert main(argv + [slow, old, "--min-speedup", "5"]) == 0
         out = capsys.readouterr().out
         assert "bench compare (pipeline):" in out
         assert "n/a" in out
+        assert "skip: candidate has no pipeline branches/s" in out
+
+
+class TestBenchCompareIncomparable:
+    """Satellite regression: ``bench --compare`` against a warm
+    snapshot (``branches_per_second: null``) must render ``n/a`` and
+    skip the exit gates instead of failing CI.  Before the fix a warm
+    *baseline* -- the normal state of a cached CI job -- turned every
+    gated comparison into a spurious exit 1."""
+
+    @staticmethod
+    def _snapshot(path, bps, branches):
+        payload = {
+            "schema": "repro-bench/3",
+            "wall_seconds": 1.0,
+            "simulation": {
+                "branches": branches,
+                "seconds": branches / bps if bps else 0.0,
+                "branches_per_second": bps,
+            },
+        }
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_warm_baseline_skips_gates(self, tmp_path, capsys):
+        warm = self._snapshot(tmp_path / "warm.json", None, 0)
+        fast = self._snapshot(tmp_path / "fast.json", 1_500_000.0, 1_000_000)
+
+        argv = ["bench", "--compare", warm, fast]
+        assert main(argv + ["--min-speedup", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "skip: baseline has no replay branches/s" in out
+        assert "FAIL" not in out
+        assert "n/a" in out
+
+        # both gates at once, still skipped exactly once
+        assert (
+            main(argv + ["--min-speedup", "10", "--max-regression", "0.1"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("skip:") == 1
+        assert "FAIL" not in out
+
+    def test_both_warm_skips_gates(self, tmp_path, capsys):
+        warm_a = self._snapshot(tmp_path / "a.json", None, 0)
+        warm_b = self._snapshot(tmp_path / "b.json", None, 0)
+        argv = ["bench", "--compare", warm_a, warm_b, "--max-regression", "0.1"]
+        assert main(argv) == 0
+        assert "skip: baseline has no replay branches/s" in capsys.readouterr().out
+
+    def test_ungated_compare_still_renders(self, tmp_path, capsys):
+        warm = self._snapshot(tmp_path / "warm.json", None, 0)
+        fast = self._snapshot(tmp_path / "fast.json", 1_500_000.0, 1_000_000)
+        assert main(["bench", "--compare", fast, warm]) == 0
+        out = capsys.readouterr().out
+        assert "n/a" in out
+        assert "skip" not in out  # nothing to gate, nothing to skip
 
 
 class TestReadmeBatteryTable:

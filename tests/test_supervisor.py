@@ -2,7 +2,9 @@
 and pool recycling, checkpoint/resume, and graceful degradation --
 driven end-to-end through injected faults (``REPRO_FAULTS``)."""
 
+import os
 import pickle
+from dataclasses import replace
 
 import pytest
 from concurrent.futures import BrokenExecutor
@@ -20,6 +22,7 @@ from repro.harness import (
     plan_resume,
     render_report,
     run_all,
+    spec_fingerprint,
     store_checkpoint,
 )
 from repro.harness import parallel as parallel_mod
@@ -313,6 +316,105 @@ class TestCheckpoints:
         cache.store(checkpoint_key(cache, "fig1", SMOKE), {"not": "a result"})
         hit, value = load_checkpoint("fig1", SMOKE)
         assert not hit and value is None
+
+
+class TestBudgetInvalidation:
+    """Satellite regression: the simulation budgets are folded into
+    ``spec_fingerprint``, so ``--resume`` after a budget bump (or a
+    changed segment size) re-runs instead of silently reusing a
+    checkpoint measured under different budgets."""
+
+    def test_fingerprint_tracks_each_budget(self):
+        base = spec_fingerprint("fig1", SMOKE)
+        assert spec_fingerprint("fig1", replace(SMOKE)) == base  # stable
+        assert (
+            spec_fingerprint(
+                "fig1", replace(SMOKE, iterations=(SMOKE.iterations or 0) + 1)
+            )
+            != base
+        )
+        assert (
+            spec_fingerprint(
+                "fig1",
+                replace(
+                    SMOKE,
+                    pipeline_instructions=SMOKE.pipeline_instructions + 1,
+                ),
+            )
+            != base
+        )
+        assert (
+            spec_fingerprint("fig1", replace(SMOKE, segment_instructions=1000))
+            != base
+        )
+
+    def test_stale_segment_size_checkpoint_is_a_miss(self, isolated_cache):
+        run_all(SMOKE, only=["fig1"], jobs=1)
+        hit, __ = load_checkpoint("fig1", SMOKE)
+        assert hit
+        hit, __ = load_checkpoint(
+            "fig1", replace(SMOKE, segment_instructions=1000)
+        )
+        assert not hit
+
+
+class TestFaultStateLifecycle:
+    """Satellite regression: the supervisor must release the
+    occurrence-state ledger it auto-created.  Before the fix the
+    exported ``REPRO_FAULTS_STATE`` tempdir (and its claim markers)
+    leaked into the next battery in the same process, so a ``times=1``
+    fault could fire twice or never."""
+
+    def test_times_one_fault_fires_once_per_battery(
+        self, isolated_cache, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(FAULTS_ENV, "flaky:experiment=tab3")
+        monkeypatch.delenv(STATE_ENV, raising=False)
+        reset_active_faults()
+        try:
+            for battery in range(2):
+                clear_memoised()
+                path = tmp_path / f"battery{battery}.jsonl"
+                with RunJournal(path) as journal:
+                    run_all(
+                        SMOKE,
+                        only=["tab3"],
+                        jobs=2,
+                        journal=journal,
+                        backoff_s=0.01,
+                    )
+                events = read_journal(path)
+                failed = [
+                    (e["experiment"], e["classification"])
+                    for e in events
+                    if e["event"] == "experiment_failed"
+                ]
+                assert failed == [("tab3", "crash")], (
+                    f"battery {battery}: a times=1 fault must fire exactly"
+                    f" once per supervised battery, saw {failed}"
+                )
+                # the ledger the supervisor created is gone again
+                assert STATE_ENV not in os.environ
+        finally:
+            reset_active_faults()
+
+    def test_inherited_state_dir_is_preserved(
+        self, isolated_cache, tmp_path, monkeypatch
+    ):
+        """An externally exported ledger (CI chaos legs share one across
+        a kill/resume pair) must survive the battery untouched."""
+        state = tmp_path / "shared-ledger"
+        monkeypatch.setenv(FAULTS_ENV, "flaky:experiment=tab3")
+        monkeypatch.setenv(STATE_ENV, str(state))
+        reset_active_faults()
+        try:
+            run_all(SMOKE, only=["tab3"], jobs=2, backoff_s=0.01)
+        finally:
+            reset_active_faults()
+        assert os.environ.get(STATE_ENV) == str(state)
+        assert state.is_dir()
+        # the claimed occurrences persist for the next leg of the pair
+        assert list(state.glob("spec*.occ*"))
 
 
 class TestResume:
