@@ -19,13 +19,18 @@ Usage examples::
     repro cache info                   # artifact-cache contents
     repro workload gcc --iterations 50 # inspect a synthetic workload
     repro trace gcc out.rbt.gz         # dump a branch trace file
+    repro serve --port 7950 --workers 4   # streaming estimator server
+    repro load --port 7950 --clients 8 --verify  # replay traces at it
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import contextlib
 import json
 import os
+import signal
 import sys
 import time
 from typing import List, Optional
@@ -49,10 +54,13 @@ from .harness import (
     SCALES,
     SPECS,
     SPECULATION_BATTERY,
+    RunAborted,
     Scale,
+    clear_abort,
     default_jobs,
     plan_resume,
     render_report,
+    request_abort,
     run_all,
     run_experiment,
 )
@@ -264,6 +272,59 @@ def _resume_plan(args: argparse.Namespace):
     return plan_resume(path) if path else None
 
 
+#: Exit status for an interrupted run (128 + SIGINT, shell convention).
+ABORT_EXIT_STATUS = 130
+
+
+@contextlib.contextmanager
+def _graceful_interrupts():
+    """Drain-then-stop signal handling around a battery run.
+
+    The first SIGINT/SIGTERM raises the harness abort flag: in-flight
+    experiments finish and are checkpointed, then the run raises
+    :class:`RunAborted` (journaled as a terminal ``run_aborted`` event,
+    so ``--resume`` works).  A second signal falls back to an immediate
+    ``KeyboardInterrupt`` for genuinely stuck runs.
+    """
+    signals_seen = {"count": 0}
+
+    def _handler(signum, frame):  # noqa: ARG001 - signal API
+        signals_seen["count"] += 1
+        if signals_seen["count"] > 1:
+            raise KeyboardInterrupt
+        print(
+            "repro: interrupt received; draining in-flight experiments"
+            " (interrupt again to stop immediately)",
+            file=sys.stderr,
+        )
+        request_abort()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except (ValueError, OSError):  # non-main thread / unsupported
+            pass
+    try:
+        yield
+    finally:
+        clear_abort()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
+def _report_abort(aborted: RunAborted, args: argparse.Namespace) -> int:
+    finished = len(aborted.results)
+    journal_path = getattr(args, "journal", None)
+    hint = f" (resume with --resume {journal_path})" if journal_path else ""
+    print(
+        f"repro: run aborted; {finished} experiment(s) finished and"
+        f" checkpointed{hint}",
+        file=sys.stderr,
+    )
+    return ABORT_EXIT_STATUS
+
+
 def _render(results, scale, journal, args: argparse.Namespace) -> str:
     if getattr(args, "deterministic", False):
         return render_report(
@@ -279,42 +340,49 @@ def _render(results, scale, journal, args: argparse.Namespace) -> str:
 def _command_run(args: argparse.Namespace) -> int:
     journal = _open_journal(args)
     try:
-        jobs = _resolve_execution(args, journal)
-        plan = _resume_plan(args)
-        scale = _scale_from_args(args, fallback=plan.scale if plan else None)
-        if args.experiment is None:
-            # no experiment named: run the whole battery as a report
-            # (with --resume, the prior run's selection)
-            only = plan.selection if plan and plan.selection else None
-            results = run_all(
-                scale,
-                only=only,
-                jobs=jobs,
-                journal=journal,
-                resume=args.resume,
-                task_timeout=args.task_timeout,
-                retries=args.retries,
-            )
-            print(_render(results, scale, journal, args))
-            return 0
-        if jobs > 1 or journal is not None or args.resume:
-            results = run_all(
-                scale,
-                only=[args.experiment],
-                jobs=jobs,
-                journal=journal,
-                resume=args.resume,
-                task_timeout=args.task_timeout,
-                retries=args.retries,
-            )
-            result = results[args.experiment]
-        else:
-            result = run_experiment(args.experiment, scale)
-        print(result.to_json() if args.json else result.to_text())
-        return 0
+        with _graceful_interrupts():
+            return _run_command_body(args, journal)
+    except RunAborted as aborted:
+        return _report_abort(aborted, args)
     finally:
         if journal is not None:
             journal.close()
+
+
+def _run_command_body(args: argparse.Namespace, journal) -> int:
+    jobs = _resolve_execution(args, journal)
+    plan = _resume_plan(args)
+    scale = _scale_from_args(args, fallback=plan.scale if plan else None)
+    if args.experiment is None:
+        # no experiment named: run the whole battery as a report
+        # (with --resume, the prior run's selection)
+        only = plan.selection if plan and plan.selection else None
+        results = run_all(
+            scale,
+            only=only,
+            jobs=jobs,
+            journal=journal,
+            resume=args.resume,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+        )
+        print(_render(results, scale, journal, args))
+        return 0
+    if jobs > 1 or journal is not None or args.resume:
+        results = run_all(
+            scale,
+            only=[args.experiment],
+            jobs=jobs,
+            journal=journal,
+            resume=args.resume,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+        )
+        result = results[args.experiment]
+    else:
+        result = run_experiment(args.experiment, scale)
+    print(result.to_json() if args.json else result.to_text())
+    return 0
 
 
 def _run_battery_command(
@@ -326,16 +394,19 @@ def _run_battery_command(
         jobs = _resolve_execution(args, journal)
         plan = _resume_plan(args)
         scale = _scale_from_args(args, fallback=plan.scale if plan else None)
-        results = run_all(
-            scale,
-            only=only,
-            jobs=jobs,
-            journal=journal,
-            resume=args.resume,
-            task_timeout=args.task_timeout,
-            retries=args.retries,
-        )
+        with _graceful_interrupts():
+            results = run_all(
+                scale,
+                only=only,
+                jobs=jobs,
+                journal=journal,
+                resume=args.resume,
+                task_timeout=args.task_timeout,
+                retries=args.retries,
+            )
         report = _render(results, scale, journal, args)
+    except RunAborted as aborted:
+        return _report_abort(aborted, args)
     finally:
         if journal is not None:
             journal.close()
@@ -701,6 +772,68 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv(value: Optional[str]) -> tuple:
+    return tuple(part for part in (value or "").split(",") if part)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the streaming estimator server until SIGINT/SIGTERM."""
+    from .serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=max(1, args.workers),
+        credits=max(1, args.credits),
+        snapshot_every=max(1, args.snapshot_every),
+        window=args.window,
+        gate_threshold=args.gate_threshold,
+        heartbeat_s=args.heartbeat,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        max_restarts=args.max_restarts,
+        restart_backoff_s=args.restart_backoff,
+        session_queue_limit=max(1, args.session_queue_limit),
+        idle_timeout_s=args.idle_timeout,
+    )
+    journal = _open_journal(args)
+    try:
+        asyncio.run(run_server(config, journal))
+    finally:
+        if journal is not None:
+            journal.close()
+    return 0
+
+
+def _command_load(args: argparse.Namespace) -> int:
+    """Replay workload traces as concurrent sessions; print a report."""
+    from .serve import LoadConfig, run_load
+
+    config = LoadConfig(
+        host=args.host,
+        port=args.port,
+        clients=max(1, args.clients),
+        sessions=max(1, args.sessions),
+        rate=args.rate,
+        batch=max(1, args.batch),
+        workloads=_csv(args.workloads),
+        predictor=args.predictor,
+        estimators=_csv(args.estimators),
+        iterations=args.iterations,
+        window=args.window,
+        verify=args.verify,
+        retries=args.retries,
+        timeout_s=args.timeout,
+    )
+    journal = _open_journal(args)
+    try:
+        report = asyncio.run(run_load(config, journal))
+    finally:
+        if journal is not None:
+            journal.close()
+    print(report.render())
+    return 1 if report.failed or report.mismatches else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -874,6 +1007,158 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("output")
     trace_parser.add_argument("--iterations", type=int, default=None)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the streaming confidence-estimation server"
+        " (length-prefixed JSONL sessions over TCP)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: pick a free port and print it)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="supervised estimator worker processes (default 2)",
+    )
+    serve_parser.add_argument(
+        "--credits",
+        type=int,
+        default=8,
+        help="flow-control credits: batches a client may have in flight",
+    )
+    serve_parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=4,
+        help="batches a worker applies between session snapshots",
+    )
+    serve_parser.add_argument(
+        "--window",
+        type=int,
+        default=256,
+        help="default metrics window in branches (hello may override)",
+    )
+    serve_parser.add_argument(
+        "--gate-threshold",
+        type=float,
+        default=0.25,
+        help="low-confidence fraction at which a window's gating"
+        " decision flips (hello may override)",
+    )
+    serve_parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=1.0,
+        help="worker heartbeat cadence in seconds",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=15.0,
+        help="unanswered-heartbeat deadline before a worker is recycled",
+    )
+    serve_parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="restarts per worker slot before degrading to in-process"
+        " serial serving",
+    )
+    serve_parser.add_argument(
+        "--restart-backoff",
+        type=float,
+        default=0.05,
+        help="base seconds of the deterministic exponential restart"
+        " backoff",
+    )
+    serve_parser.add_argument(
+        "--session-queue-limit",
+        type=int,
+        default=64,
+        help="outbound frames buffered per session before the client"
+        " is shed",
+    )
+    serve_parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="per-session deadline (seconds) for the next client frame",
+    )
+    serve_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write server/session events as a JSONL run journal",
+    )
+
+    load_parser = subparsers.add_parser(
+        "load",
+        help="replay workload traces as concurrent streaming sessions"
+        " against a running server",
+    )
+    load_parser.add_argument("--host", default="127.0.0.1")
+    load_parser.add_argument("--port", type=int, required=True)
+    load_parser.add_argument(
+        "--clients", type=int, default=4, help="concurrent client tasks"
+    )
+    load_parser.add_argument(
+        "--sessions", type=int, default=8, help="total sessions to stream"
+    )
+    load_parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="batches/s per session (0: as fast as credits allow)",
+    )
+    load_parser.add_argument(
+        "--batch", type=int, default=512, help="branches per batch"
+    )
+    load_parser.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workloads (default: whole suite round-robin)",
+    )
+    load_parser.add_argument("--predictor", default="gshare")
+    load_parser.add_argument(
+        "--estimators",
+        default=None,
+        help="comma-separated estimator families (default: all bank"
+        " families)",
+    )
+    load_parser.add_argument("--iterations", type=int, default=None)
+    load_parser.add_argument(
+        "--window", type=int, default=256, help="metrics window in branches"
+    )
+    load_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="recompute each cell with batch measure_bank and require the"
+        " streamed result to be exactly equal",
+    )
+    load_parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="reconnect budget per session (fresh id, replay from start)",
+    )
+    load_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-session-attempt deadline in seconds",
+    )
+    load_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="journal the load report as a server_load_report event",
+    )
+
     return parser
 
 
@@ -889,6 +1174,8 @@ _COMMANDS = {
     "journal": _command_journal,
     "workload": _command_workload,
     "trace": _command_trace,
+    "serve": _command_serve,
+    "load": _command_load,
 }
 
 

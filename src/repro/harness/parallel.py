@@ -60,6 +60,7 @@ from __future__ import annotations
 import os
 import pickle
 import sys
+import threading
 import time
 import traceback
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -114,6 +115,41 @@ DEFAULT_BACKOFF_S = 0.25
 
 #: The failure taxonomy.  Everything except ``fatal`` is retryable.
 FAILURE_CLASSES = ("timeout", "crash", "corrupt_artifact", "retryable", "fatal")
+
+# ----------------------------------------------------------------------
+# graceful abort (SIGINT/SIGTERM)
+# ----------------------------------------------------------------------
+
+#: Set by the CLI's signal handler; checked at experiment boundaries.
+#: A flag (not an exception) so in-flight tasks drain instead of dying
+#: mid-write: every result harvested before the abort is checkpointed,
+#: which is what keeps ``--resume`` consistent after an interrupt.
+_ABORT = threading.Event()
+
+
+class RunAborted(RuntimeError):
+    """The battery was interrupted after draining in-flight work.
+
+    ``results`` maps experiment id -> result for every experiment that
+    finished (and was checkpointed) before the abort took effect.
+    """
+
+    def __init__(self, results: Optional[Dict[str, "ExperimentResult"]] = None):
+        super().__init__("run aborted by signal")
+        self.results: Dict[str, ExperimentResult] = dict(results or {})
+
+
+def request_abort() -> None:
+    """Ask the running battery to stop at the next experiment boundary."""
+    _ABORT.set()
+
+
+def clear_abort() -> None:
+    _ABORT.clear()
+
+
+def abort_requested() -> bool:
+    return _ABORT.is_set()
 
 _FATAL_TYPES = (MemoryError, KeyboardInterrupt, SystemExit)
 _CORRUPT_TYPES = (pickle.UnpicklingError, EOFError)
@@ -520,6 +556,8 @@ def _run_serially(
     activate_measurement_plan(measurement_families)
     try:
         for experiment_id in selected:
+            if _ABORT.is_set():
+                raise RunAborted(results)
             journal.emit(
                 "experiment_started", experiment=experiment_id, mode="serial"
             )
@@ -839,6 +877,11 @@ class _Supervisor:
             pending = list(self.selected)
             round_number = 0
             while pending and not self.pool_unavailable:
+                if _ABORT.is_set():
+                    # each round already drained its futures, so every
+                    # harvested result is checkpointed; stop here
+                    self._recycle_pool(reason="aborted", journal_event=False)
+                    raise RunAborted(dict(self.results))
                 if round_number > 0:
                     # deterministic, jitter-free backoff: identical runs
                     # retry on an identical schedule
@@ -851,6 +894,8 @@ class _Supervisor:
             if pool is not None:
                 pool.shutdown(wait=True)
 
+            if _ABORT.is_set():
+                raise RunAborted(dict(self.results))
             unresolved = [
                 eid for eid in self.selected if eid not in self.results
             ]
@@ -858,14 +903,18 @@ class _Supervisor:
                 # graceful degradation: exhausted/fatal/unschedulable
                 # experiments run serially in the parent, in selection
                 # order, so the battery completes iff a serial run would
-                self.results.update(
-                    _run_serially(
-                        unresolved,
-                        self.scale,
-                        self.journal,
-                        measurement_families=self.plan,
+                try:
+                    self.results.update(
+                        _run_serially(
+                            unresolved,
+                            self.scale,
+                            self.journal,
+                            measurement_families=self.plan,
+                        )
                     )
-                )
+                except RunAborted as aborted:
+                    self.results.update(aborted.results)
+                    raise RunAborted(dict(self.results)) from None
             return {eid: self.results[eid] for eid in self.selected}
         finally:
             if owns_state:

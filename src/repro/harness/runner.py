@@ -132,7 +132,7 @@ def run_all(
     unknown = [experiment_id for experiment_id in selected if experiment_id not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiment ids: {', '.join(unknown)}")
-    from .parallel import run_parallel
+    from .parallel import RunAborted, run_parallel
 
     restored: Dict[str, ExperimentResult] = {}
     if resume is not None:
@@ -196,6 +196,24 @@ def run_all(
             backoff_s=backoff_s,
             measurement_families=plan,
         )
+    except RunAborted as aborted:
+        # close the journal the way a finished run does -- stats triple
+        # then the (fsynced) terminal event -- so `--resume` of an
+        # aborted run sees a well-formed prefix and skips exactly the
+        # experiments that were checkpointed before the interrupt
+        finished = [
+            eid
+            for eid in selected
+            if eid in restored or eid in aborted.results
+        ]
+        journal.emit(
+            "cache_stats", **get_cache().stats.since(cache_baseline).as_dict()
+        )
+        journal.emit(
+            "metrics_snapshot", **REGISTRY.since(metrics_baseline).as_dict()
+        )
+        journal.emit("run_aborted", reason="signal", finished=finished)
+        raise
     finally:
         if sink_installed:
             artifact_cache.set_warning_sink(previous_sink)

@@ -1,0 +1,29 @@
+"""Streaming confidence-estimation serving (``repro serve`` / ``load``).
+
+The serving stack turns the batch estimator battery into a long-lived
+service: an asyncio front-end speaks a length-prefixed JSONL protocol
+(:mod:`.protocol`), consistently hashes sessions onto supervised
+worker processes (:mod:`.ring`, :mod:`.server`) that run incremental
+estimator banks (:mod:`.session`, :mod:`.worker`), and streams back
+per-window quadrant metrics plus gating decisions.  ``repro load``
+(:mod:`.load`) replays workload traces as concurrent sessions and can
+verify the streamed results exactly against batch ``measure_bank``.
+"""
+
+from .load import LoadConfig, LoadReport, run_load
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .server import EstimatorServer, ServeConfig, run_server
+from .session import EstimatorSession, SessionSnapshot
+
+__all__ = [
+    "EstimatorServer",
+    "EstimatorSession",
+    "LoadConfig",
+    "LoadReport",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeConfig",
+    "SessionSnapshot",
+    "run_load",
+    "run_server",
+]

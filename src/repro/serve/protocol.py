@@ -1,0 +1,198 @@
+"""The length-prefixed JSONL wire protocol of the estimator server.
+
+Every frame on the wire is::
+
+    <4-byte big-endian payload length> <payload>
+
+where the payload is one UTF-8 JSON object terminated by ``\\n`` (the
+newline is included in the length, so a captured stream with the
+prefixes stripped is valid JSONL).  Frames are schema-checked on both
+sides with the same vocabulary discipline as the run journal: unknown
+*extra* fields are ignored, missing required fields or wrong types are
+protocol errors.
+
+Client -> server messages:
+
+* ``hello`` -- open a session: the (workload, predictor, estimator
+  families, iterations) cell to serve, plus the metrics window size;
+* ``branches`` -- one batch of branch records (``seq`` strictly
+  increasing from 1; parallel arrays ``pcs`` / ``taken``);
+* ``end`` -- finish the stream and request the final result;
+* ``ping`` -- liveness probe.
+
+Server -> client messages:
+
+* ``welcome`` -- the session is open; carries the initial credit grant
+  (see flow control in ``docs/serving.md``) and the effective config;
+* ``credit`` -- one batch was applied; the client may send another;
+* ``window`` -- per-window quadrant metrics (SENS/PVP/SPEC/PVN) and
+  the gating decision per estimator family;
+* ``result`` -- the final quadrant counts for the whole stream, equal
+  to a batch ``measure_bank`` over the same branch sequence;
+* ``recovered`` -- the session was restored onto a recycled worker
+  (informational; the stream continues transparently);
+* ``error`` -- the session is dead; ``code`` says why;
+* ``pong`` -- answer to ``ping``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple, Union
+
+#: Bump when a message gains/loses *required* fields or changes meaning.
+PROTOCOL_VERSION = 1
+
+_LENGTH = struct.Struct("!I")
+
+#: Upper bound on one frame's payload; a length prefix beyond this is
+#: treated as a corrupt stream, not an allocation request.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_NUMBER = (int, float)
+
+#: message type -> {required field: expected type(s)}.
+MESSAGE_TYPES: Dict[str, Dict[str, Union[type, Tuple[type, ...]]]] = {
+    # client -> server
+    "hello": {
+        "session": str,
+        "workload": str,
+        "predictor": str,
+        "estimators": list,
+    },
+    "branches": {"seq": int, "pcs": list, "taken": list},
+    "end": {},
+    "ping": {},
+    # server -> client
+    "welcome": {
+        "session": str,
+        "credits": int,
+        "window": int,
+        "families": list,
+    },
+    "credit": {"seq": int, "grant": int},
+    "window": {"start": int, "branches": int, "metrics": dict, "gate": dict},
+    "result": {
+        "branches": int,
+        "mispredictions": int,
+        "windows": int,
+        "quadrants": dict,
+    },
+    "recovered": {"replayed": int},
+    "error": {"code": str, "error": str},
+    "pong": {},
+}
+
+#: ``error`` frame codes the server emits.
+ERROR_CODES = (
+    "bad_frame",        # undecodable/oversized/invalid payload
+    "bad_message",      # schema violation or unknown type
+    "bad_config",       # hello named an unknown workload/predictor/family
+    "credit_violation", # client sent batches beyond its credit grant
+    "out_of_order",     # batch seq gap or repeat
+    "slow_client",      # outbound queue overflowed; session shed
+    "session_lost",     # worker died with no usable snapshot
+    "server_stopping",  # graceful shutdown closed the session
+    "idle_timeout",     # session deadline passed with no client frame
+)
+
+
+class ProtocolError(ValueError):
+    """A frame or message that violates the wire protocol."""
+
+
+def validate_message(obj: Any) -> Dict[str, Any]:
+    """Schema-check one decoded payload; returns it typed as a dict."""
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(obj).__name__}"
+        )
+    kind = obj.get("type")
+    if not isinstance(kind, str):
+        raise ProtocolError("missing or non-string 'type' field")
+    required = MESSAGE_TYPES.get(kind)
+    if required is None:
+        raise ProtocolError(f"unknown message type {kind!r}")
+    if obj.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"'v' must be {PROTOCOL_VERSION}, got {obj.get('v')!r}"
+        )
+    for field_name, expected in required.items():
+        if field_name not in obj:
+            raise ProtocolError(
+                f"{kind}: missing required field {field_name!r}"
+            )
+        value = obj[field_name]
+        if not isinstance(value, expected) or (
+            isinstance(value, bool) and expected is not bool
+        ):
+            raise ProtocolError(
+                f"{kind}: field {field_name!r} has wrong type"
+                f" {type(value).__name__}"
+            )
+    return obj
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One validated message -> length-prefixed wire bytes."""
+    message = dict(message)
+    message.setdefault("v", PROTOCOL_VERSION)
+    validate_message(message)
+    payload = (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame payload of {len(payload)} bytes too large")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Wire payload bytes -> validated message dict."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame payload: {error}") from None
+    return validate_message(obj)
+
+
+async def read_frame_payload(
+    reader: asyncio.StreamReader,
+) -> Optional[bytes]:
+    """Read one raw frame payload; ``None`` on clean EOF at a boundary.
+
+    The payload is returned *undecoded* so the server can route it
+    through the ``frame`` fault site (:meth:`FaultRegistry.
+    corrupt_server_frame`) before parsing -- a garbled payload must
+    exercise the protocol-error path, not crash the reader.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed mid-prefix") from None
+    (length,) = _LENGTH.unpack(prefix)
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"implausible frame length {length}")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+
+
+async def read_message(
+    reader: asyncio.StreamReader,
+) -> Optional[Dict[str, Any]]:
+    """Read and validate one message; ``None`` on clean EOF."""
+    payload = await read_frame_payload(reader)
+    if payload is None:
+        return None
+    return decode_payload(payload)
+
+
+async def send_message(
+    writer: asyncio.StreamWriter, message: Dict[str, Any]
+) -> None:
+    """Encode, write and drain one message."""
+    writer.write(encode_frame(message))
+    await writer.drain()

@@ -1,0 +1,270 @@
+"""Incremental estimator-bank sessions and their snapshots.
+
+An :class:`EstimatorSession` is the serving-side unit of work: one
+client's branch stream driven through one predictor and a bank of
+confidence estimators, *incrementally*.  Its per-branch semantics are
+a line-for-line mirror of the batch loop in
+:func:`repro.engine.measure.measure` -- predict, estimate every
+family, count the quadrant, resolve predictor then estimators -- so a
+session fed the same branch sequence in any batch split produces final
+:class:`~repro.metrics.quadrant.QuadrantCounts` *equal* (not
+approximately equal) to one batch ``measure_bank`` call.  That
+equivalence is the server's correctness contract and is what the
+chaos CI leg asserts.
+
+Sessions are snapshotted with the same capture/restore idiom as
+:mod:`repro.pipeline.snapshot`: the whole session is pickled in one
+piece so shared references (estimator tables aliased by in-flight
+state) survive, the snapshot is schema-stamped, and restores refuse
+mismatched schemas instead of resuming from garbage.  A recycled
+worker restores the snapshot and re-applies only the batches past the
+snapshot's ``applied_seq`` -- never the whole stream.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.quadrant import QuadrantCounts
+from ..predictors import make_predictor
+
+#: Bump when the snapshot payload layout changes; restores refuse
+#: mismatched schemas instead of resuming from garbage.
+SESSION_SCHEMA = "serve-session/1"
+
+#: Default branches per metrics window.
+DEFAULT_WINDOW = 256
+
+#: Default low-confidence fraction at which a window's gating decision
+#: flips to "gate" (stop speculating past these branches).
+DEFAULT_GATE_THRESHOLD = 0.25
+
+#: The four reported quadrant metrics, in display order.
+WINDOW_METRICS = ("sens", "pvp", "spec", "pvn")
+
+
+class SessionError(ValueError):
+    """A session request that cannot be served (bad config, bad seq)."""
+
+
+class SessionSnapshotError(RuntimeError):
+    """A session snapshot that could not be restored."""
+
+
+def session_families() -> Sequence[str]:
+    """The estimator families a ``hello`` may request (bank families)."""
+    from ..harness.experiments import BANK_FAMILIES
+
+    return BANK_FAMILIES
+
+
+class EstimatorSession:
+    """One live (workload, predictor, estimator-bank) branch stream."""
+
+    def __init__(
+        self,
+        session_id: str,
+        workload: str,
+        predictor_name: str,
+        families: Sequence[str],
+        iterations: Optional[int] = None,
+        window: int = DEFAULT_WINDOW,
+        gate_threshold: float = DEFAULT_GATE_THRESHOLD,
+    ):
+        # estimator construction is deliberately shared with the batch
+        # battery (same factory, same static-sites artifact), so the
+        # serving path measures the identical estimator configurations
+        from ..harness.experiments import BANK_FAMILIES, _family_estimator
+        from ..workloads import SUITE
+
+        if workload not in SUITE:
+            raise SessionError(f"unknown workload {workload!r}")
+        if window <= 0:
+            raise SessionError(f"window must be positive, got {window}")
+        unknown = [f for f in families if f not in BANK_FAMILIES]
+        if unknown:
+            raise SessionError(
+                f"unknown estimator families: {', '.join(unknown)}"
+                f" (available: {', '.join(BANK_FAMILIES)})"
+            )
+        self.session_id = session_id
+        self.workload = workload
+        self.predictor_name = predictor_name
+        self.families = tuple(families)
+        self.iterations = iterations
+        self.window = window
+        self.gate_threshold = gate_threshold
+
+        try:
+            self.predictor = make_predictor(predictor_name)
+        except KeyError as error:
+            raise SessionError(str(error)) from None
+        self.estimators = {
+            family: _family_estimator(
+                family, predictor_name, self.predictor, workload, iterations
+            )
+            for family in self.families
+            if family != "accuracy"
+        }
+        self.quadrants: Dict[str, QuadrantCounts] = {
+            name: QuadrantCounts() for name in self.estimators
+        }
+        self._window_quadrants: Dict[str, QuadrantCounts] = {
+            name: QuadrantCounts() for name in self.estimators
+        }
+        self.branches = 0
+        self.mispredictions = 0
+        self.windows_emitted = 0
+        #: Sequence number of the last applied ``branches`` batch; the
+        #: worker's dedupe key after a snapshot restore.
+        self.applied_seq = 0
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+
+    def apply(
+        self, seq: int, pcs: Sequence[int], taken: Sequence[int]
+    ) -> List[dict]:
+        """Apply one batch; returns the ``window`` messages it completed.
+
+        Batches must arrive with ``seq`` increasing by exactly 1.  A
+        batch at or below ``applied_seq`` is a post-recovery redelivery
+        and is skipped (the snapshot already contains it); a gap is a
+        protocol error.
+        """
+        if seq <= self.applied_seq:
+            return []
+        if seq != self.applied_seq + 1:
+            raise SessionError(
+                f"batch seq {seq} out of order (expected {self.applied_seq + 1})"
+            )
+        if len(pcs) != len(taken):
+            raise SessionError("pcs and taken length mismatch")
+        windows: List[dict] = []
+        predict = self.predictor.predict
+        predictor_resolve = self.predictor.resolve
+        estimator_items = list(self.estimators.items())
+        for pc, taken_flag in zip(pcs, taken):
+            actual = bool(taken_flag)
+            prediction = predict(pc)
+            assessments = [
+                (name, estimator, estimator.estimate(pc, prediction))
+                for name, estimator in estimator_items
+            ]
+            correct = prediction.taken == actual
+            self.branches += 1
+            if not correct:
+                self.mispredictions += 1
+            predictor_resolve(pc, actual, prediction)
+            for name, estimator, assessment in assessments:
+                estimator.resolve(pc, prediction, actual, assessment)
+                high = assessment.high_confidence
+                self.quadrants[name].record(correct, high)
+                self._window_quadrants[name].record(correct, high)
+            if self.branches % self.window == 0:
+                windows.append(self._close_window())
+        self.applied_seq = seq
+        return windows
+
+    def _close_window(self) -> dict:
+        """Snapshot and reset the per-window tables as one message."""
+        start = self.branches - self.window
+        metrics: Dict[str, Dict[str, Optional[float]]] = {}
+        gate: Dict[str, bool] = {}
+        for name, counts in self._window_quadrants.items():
+            metrics[name] = {
+                metric: counts.metric_or_none(metric)
+                for metric in WINDOW_METRICS
+            }
+            metrics[name]["lc_fraction"] = counts.coverage
+            # the §2.2 speculation-control signal: gate fetch past this
+            # window's branches when too many were tagged low-confidence
+            gate[name] = counts.coverage >= self.gate_threshold
+        self._window_quadrants = {
+            name: QuadrantCounts() for name in self.estimators
+        }
+        self.windows_emitted += 1
+        return {
+            "type": "window",
+            "start": start,
+            "branches": self.window,
+            "metrics": metrics,
+            "gate": gate,
+        }
+
+    def result(self) -> dict:
+        """The final ``result`` message for the whole applied stream."""
+        return {
+            "type": "result",
+            "branches": self.branches,
+            "mispredictions": self.mispredictions,
+            "windows": self.windows_emitted,
+            "quadrants": {
+                name: {
+                    "c_hc": counts.c_hc,
+                    "i_hc": counts.i_hc,
+                    "c_lc": counts.c_lc,
+                    "i_lc": counts.i_lc,
+                }
+                for name, counts in self.quadrants.items()
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# snapshots
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """One frozen session, capturable between any two batches.
+
+    Metadata fields describe the paused stream without unpickling it;
+    ``payload`` is the pickled session.  ``applied_seq`` is the dedupe
+    horizon: redelivered batches at or below it are skipped.
+    """
+
+    schema: str
+    session_id: str
+    applied_seq: int
+    branches: int
+    payload: bytes
+
+
+def capture_session(session: EstimatorSession) -> SessionSnapshot:
+    """Freeze ``session`` at its current batch boundary."""
+    return SessionSnapshot(
+        schema=SESSION_SCHEMA,
+        session_id=session.session_id,
+        applied_seq=session.applied_seq,
+        branches=session.branches,
+        payload=pickle.dumps(session, protocol=pickle.HIGHEST_PROTOCOL),
+    )
+
+
+def restore_session(snapshot: SessionSnapshot) -> EstimatorSession:
+    """Thaw a session that resumes exactly where ``snapshot`` paused."""
+    if snapshot.schema != SESSION_SCHEMA:
+        raise SessionSnapshotError(
+            f"session snapshot schema {snapshot.schema!r} != {SESSION_SCHEMA!r}"
+        )
+    try:
+        session = pickle.loads(snapshot.payload)
+    except Exception as error:  # corrupt payload: session is lost
+        raise SessionSnapshotError(
+            f"unreadable session snapshot: {error}"
+        ) from error
+    if not isinstance(session, EstimatorSession):
+        raise SessionSnapshotError(
+            f"session snapshot holds a {type(session).__name__}"
+        )
+    if session.applied_seq != snapshot.applied_seq:
+        raise SessionSnapshotError(
+            f"session snapshot metadata disagrees with payload"
+            f" (applied_seq {snapshot.applied_seq} != {session.applied_seq})"
+        )
+    return session

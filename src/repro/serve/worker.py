@@ -1,0 +1,226 @@
+"""Worker-side session hosting for the estimator server.
+
+A worker process owns a shard of the live sessions (assigned by the
+front-end's consistent hash ring) and speaks a tiny op protocol over
+its :mod:`multiprocessing` pipe: ``open`` / ``restore`` / ``branches``
+/ ``finish`` / ``drop`` / ``ping`` / ``shutdown``.  Requests are
+processed strictly in order and every request except ``shutdown``
+produces exactly one response, so the front-end can reason about a
+worker as a FIFO: a ``ping`` answered means everything before it was
+applied.
+
+:class:`SessionHost` holds the actual dispatch logic and is process
+-agnostic: the degraded serving mode runs the same class in the
+front-end process, so a pool-less server still serves the identical
+semantics (minus chaos injection -- the in-process host is the
+recovery path of last resort, mirroring the serial-degradation rule
+of :mod:`repro.harness.parallel`).
+
+Fault injection: ``REPRO_FAULTS`` specs with ``server=worker`` are
+evaluated once per state-changing op *in the worker process only*.
+``crash``/``flaky`` terminate the process abruptly (``os._exit``), the
+way a segfault or OOM kill would; ``hang`` sleeps past the heartbeat
+deadline so the supervisor's stall detection fires.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from ..engine import cache as artifact_cache
+from ..faults.injector import InjectedCrash, active_faults
+from .session import (
+    EstimatorSession,
+    SessionError,
+    SessionSnapshotError,
+    capture_session,
+    restore_session,
+)
+
+#: Batches applied between automatic snapshots of a session.  Every
+#: session is also snapshotted at open (seq 0), so the front-end always
+#: holds a restore point and recovery replay is bounded by this.
+DEFAULT_SNAPSHOT_EVERY = 4
+
+#: Exit status of a worker killed by an injected ``server=worker``
+#: crash; distinguishable from real crashes in process listings.
+CRASH_EXIT_STATUS = 17
+
+#: The fault site evaluated per state-changing op.
+WORKER_SITE = "worker"
+
+
+class SessionHost:
+    """Dispatches session ops; one instance per worker (or in-process).
+
+    Responses are plain dicts (picklable for the pipe): ``opened`` /
+    ``applied`` / ``finished`` / ``dropped`` / ``pong`` / ``error``.
+    ``error`` responses carry the protocol error ``code`` the front-end
+    forwards to the client.
+    """
+
+    def __init__(self, snapshot_every: int = DEFAULT_SNAPSHOT_EVERY):
+        self.snapshot_every = max(1, snapshot_every)
+        self.sessions: Dict[str, EstimatorSession] = {}
+        self._since_snapshot: Dict[str, int] = {}
+
+    def _error(self, session_id: str, code: str, message: str) -> dict:
+        return {
+            "op": "error",
+            "session": session_id,
+            "code": code,
+            "error": message,
+        }
+
+    def handle(self, request: dict) -> Optional[dict]:
+        op = request.get("op")
+        if op == "ping":
+            return {"op": "pong"}
+        if op == "shutdown":
+            return None
+        if op == "open":
+            return self._open(request)
+        if op == "restore":
+            return self._restore(request)
+        if op == "branches":
+            return self._branches(request)
+        if op == "finish":
+            return self._finish(request)
+        if op == "drop":
+            session_id = request.get("session", "")
+            self.sessions.pop(session_id, None)
+            self._since_snapshot.pop(session_id, None)
+            return {"op": "dropped", "session": session_id}
+        return self._error(
+            str(request.get("session", "")), "bad_message", f"unknown op {op!r}"
+        )
+
+    def _open(self, request: dict) -> dict:
+        session_id = request["session"]
+        try:
+            session = EstimatorSession(
+                session_id,
+                workload=request["workload"],
+                predictor_name=request["predictor"],
+                families=request["families"],
+                iterations=request.get("iterations"),
+                window=request.get("window") or 0,
+                gate_threshold=request["gate_threshold"],
+            )
+        except SessionError as error:
+            return self._error(session_id, "bad_config", str(error))
+        self.sessions[session_id] = session
+        self._since_snapshot[session_id] = 0
+        # snapshot at open: the front-end always holds a restore point,
+        # so "worker died before the first periodic snapshot" cannot
+        # strand a session
+        return {
+            "op": "opened",
+            "session": session_id,
+            "recovered": False,
+            "snapshot": capture_session(session),
+        }
+
+    def _restore(self, request: dict) -> dict:
+        snapshot = request["snapshot"]
+        try:
+            session = restore_session(snapshot)
+        except SessionSnapshotError as error:
+            return self._error(
+                getattr(snapshot, "session_id", ""), "session_lost", str(error)
+            )
+        self.sessions[session.session_id] = session
+        self._since_snapshot[session.session_id] = 0
+        return {
+            "op": "opened",
+            "session": session.session_id,
+            "recovered": True,
+            "snapshot": snapshot,
+        }
+
+    def _branches(self, request: dict) -> dict:
+        session_id = request["session"]
+        session = self.sessions.get(session_id)
+        if session is None:
+            return self._error(
+                session_id, "session_lost", "no such session on this worker"
+            )
+        seq = request["seq"]
+        try:
+            windows = session.apply(seq, request["pcs"], request["taken"])
+        except SessionError as error:
+            return self._error(session_id, "out_of_order", str(error))
+        snapshot = None
+        self._since_snapshot[session_id] += 1
+        if self._since_snapshot[session_id] >= self.snapshot_every:
+            snapshot = capture_session(session)
+            self._since_snapshot[session_id] = 0
+        return {
+            "op": "applied",
+            "session": session_id,
+            "seq": seq,
+            "branches": session.branches,
+            "windows": windows,
+            "snapshot": snapshot,
+        }
+
+    def _finish(self, request: dict) -> dict:
+        session_id = request["session"]
+        session = self.sessions.pop(session_id, None)
+        self._since_snapshot.pop(session_id, None)
+        if session is None:
+            return self._error(
+                session_id, "session_lost", "no such session on this worker"
+            )
+        return {
+            "op": "finished",
+            "session": session_id,
+            "result": session.result(),
+        }
+
+
+#: Ops that change session state and therefore pass the fault site.
+_FAULTED_OPS = ("open", "restore", "branches", "finish")
+
+
+def worker_main(
+    conn,
+    index: int,
+    cache_root: str,
+    cache_enabled: bool,
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+) -> None:
+    """Worker process entry point: serve ops from ``conn`` until EOF.
+
+    Spawned (not forked) by the front-end, so the artifact cache is
+    re-pointed explicitly at the parent's directory -- session
+    construction may compute static-sites artifacts and must share
+    them with the battery and other workers.
+    """
+    artifact_cache.configure(root=cache_root, enabled=cache_enabled)
+    host = SessionHost(snapshot_every=snapshot_every)
+    faults = active_faults()
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break
+        if not isinstance(request, dict):
+            continue
+        if request.get("op") == "shutdown":
+            break
+        if request.get("op") in _FAULTED_OPS:
+            try:
+                faults.on_server(WORKER_SITE)
+            except InjectedCrash:
+                # a crash fault means *process death*, not a polite
+                # error reply: the supervisor must see the pipe break
+                os._exit(CRASH_EXIT_STATUS)
+        response = host.handle(request)
+        if response is None:
+            break
+        try:
+            conn.send(response)
+        except (EOFError, OSError, BrokenPipeError):
+            break

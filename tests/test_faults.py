@@ -199,6 +199,149 @@ class TestCacheSite:
         registry.on_experiment("fig1")  # crash does not match fig1
 
 
+class TestGrammarEdgeCases:
+    def test_overlapping_experiment_globs_count_independently(self):
+        """Two specs matching the same experiment keep separate
+        occurrence ledgers: each consumes its own budget."""
+        registry = FaultRegistry(
+            parse_specs("flaky:experiment=tab*,flaky:experiment=*3")
+        )
+        with pytest.raises(InjectedCrash):  # first spec fires
+            registry.on_experiment("tab3")
+        with pytest.raises(InjectedCrash):  # second spec still armed
+            registry.on_experiment("tab3")
+        registry.on_experiment("tab3")  # both budgets consumed
+
+    def test_overlapping_artifact_globs_share_one_store(self, tmp_path):
+        """Two corrupt specs matching the same artifact both spend
+        their budget on the same store; the next store survives."""
+        registry = FaultRegistry(
+            parse_specs(
+                "corrupt:artifact=tr*:times=1,corrupt:artifact=*ace:times=1"
+            )
+        )
+        path = tmp_path / "entry.pkl"
+        path.write_bytes(b"first")
+        assert registry.on_cache_store("trace", path)
+        assert path.read_bytes() == CORRUPTION_BYTES
+        path.write_bytes(b"second")
+        assert not registry.on_cache_store("trace", path)
+        assert path.read_bytes() == b"second"
+
+    def test_p_zero_never_fires(self):
+        registry = FaultRegistry(parse_specs("crash:p=0"))
+        for _ in range(50):
+            registry.on_experiment("tab3")
+
+    def test_p_one_always_fires_within_budget(self):
+        registry = FaultRegistry(parse_specs("crash:p=1:times=2"))
+        for _ in range(2):
+            with pytest.raises(InjectedCrash):
+                registry.on_experiment("tab3")
+        registry.on_experiment("tab3")  # times=2 exhausted
+
+    def test_after_window_interacts_with_times(self):
+        """``after=2:times=2`` fires exactly on occurrences 2 and 3."""
+        registry = FaultRegistry(parse_specs("crash:after=2:times=2"))
+        pattern = []
+        for _ in range(6):
+            try:
+                registry.on_experiment("fig1")
+                pattern.append(False)
+            except InjectedCrash:
+                pattern.append(True)
+        assert pattern == [False, False, True, True, False, False]
+
+    def test_after_equal_to_skipped_budget_with_p(self):
+        """``after`` skips occurrences before the coin is even tossed:
+        a p=0 spec with after still claims occurrence numbers."""
+        registry = FaultRegistry(parse_specs("crash:after=1:p=0"))
+        for _ in range(10):
+            registry.on_experiment("tab3")
+
+    def test_times_zero_never_fires(self):
+        registry = FaultRegistry(parse_specs("crash:times=0"))
+        for _ in range(5):
+            registry.on_experiment("tab3")
+
+    def test_shared_exported_ledger_survives_registry_reset(
+        self, monkeypatch, tmp_path
+    ):
+        """A kill/resume pair sharing REPRO_FAULTS_STATE: the second
+        process (modelled by reset + re-read of the environment) sees
+        the first one's claims, so ``times=1`` stays once-per-ledger."""
+        state = tmp_path / "ledger"
+        monkeypatch.setenv(FAULTS_ENV, "flaky:experiment=tab3")
+        monkeypatch.setenv(STATE_ENV, str(state))
+        reset_active_faults()
+        with pytest.raises(InjectedCrash):
+            active_faults().on_experiment("tab3")
+        reset_active_faults()  # "new process": same env, fresh registry
+        active_faults().on_experiment("tab3")  # already consumed
+        assert sorted(os.listdir(state)) == ["spec0.occ0", "spec0.occ1"]
+
+
+class TestServerSite:
+    def test_server_selector_parses_and_routes_site(self):
+        spec = parse_spec("crash:server=worker:times=2", index=0)
+        assert spec.site == "server"
+        assert spec.server == "worker"
+        assert spec.describe() == "crash[0]:server=worker:times=2"
+
+    def test_corrupt_with_server_selector_is_server_site(self):
+        assert parse_spec("corrupt:server=frame", index=0).site == "server"
+
+    def test_on_server_fires_matching_site_only(self):
+        registry = FaultRegistry(parse_specs("crash:server=worker"))
+        registry.on_server("connection")  # no match, never fires
+        with pytest.raises(InjectedCrash):
+            registry.on_server("worker")
+
+    def test_server_specs_never_fire_at_other_sites(self, tmp_path):
+        registry = FaultRegistry(
+            parse_specs("crash:server=worker,corrupt:server=frame")
+        )
+        registry.on_experiment("tab3")  # server spec: experiment site inert
+        path = tmp_path / "entry.pkl"
+        path.write_bytes(b"fresh")
+        assert not registry.on_cache_store("trace", path)
+        assert path.read_bytes() == b"fresh"
+
+    def test_experiment_specs_never_fire_at_server_sites(self):
+        registry = FaultRegistry(parse_specs("crash:experiment=*"))
+        registry.on_server("worker")
+        registry.on_server("connection")
+
+    def test_corrupt_server_frame_garbles_payload_within_budget(self):
+        registry = FaultRegistry(parse_specs("corrupt:server=frame:times=1"))
+        assert (
+            registry.corrupt_server_frame("frame", b"payload")
+            == CORRUPTION_BYTES
+        )
+        # budget exhausted: the next frame passes through untouched
+        assert registry.corrupt_server_frame("frame", b"payload") == b"payload"
+
+    def test_corrupt_server_spec_ignores_on_server(self):
+        """corrupt routes through the frame hook, never the raise/sleep
+        hook -- and crash never garbles frames."""
+        registry = FaultRegistry(
+            parse_specs("corrupt:server=frame,crash:server=worker")
+        )
+        registry.on_server("frame")  # corrupt spec: inert here
+        assert registry.corrupt_server_frame("worker", b"x") == b"x"
+
+    def test_server_hang_sleeps_its_seconds(self):
+        naps = []
+        registry = FaultRegistry(
+            parse_specs("hang:server=worker:seconds=7:times=1"),
+            sleep=naps.append,
+        )
+        registry.on_server("worker")
+        assert naps == [7.0]
+        registry.on_server("worker")  # consumed
+        assert naps == [7.0]
+
+
 class TestEnvironmentWiring:
     def test_specs_from_env_parses_faults(self, monkeypatch):
         monkeypatch.setenv(FAULTS_ENV, "flaky:experiment=tab3,slow:seconds=0.1")

@@ -142,6 +142,85 @@ class TestRunJournalWriter:
         journal.close()
 
 
+class TestDurability:
+    def test_terminal_events_are_fsynced(self, tmp_path, monkeypatch):
+        """run_aborted / run_finished / session_closed lines must reach
+        disk before the process can die; routine events only flush."""
+        import os as os_mod
+
+        synced = []
+        real_fsync = os_mod.fsync
+        monkeypatch.setattr(
+            "repro.obs.journal.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd)),
+        )
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.emit("warning", message="routine")
+        assert synced == []  # non-terminal: flushed, not fsynced
+        journal.emit("run_aborted", reason="signal", finished=[])
+        assert len(synced) == 1
+        journal.emit(
+            "session_closed", session="s1", branches=10, windows=1
+        )
+        assert len(synced) == 2
+        journal.emit("run_finished", experiments=[], duration_s=0.1)
+        assert len(synced) == 3
+        journal.close()
+
+    def test_stringio_journal_swallows_fsync(self):
+        journal = RunJournal(io.StringIO())
+        journal.emit("run_aborted", reason="signal", finished=[])
+
+
+class TestServingEvents:
+    """The PR 9 event vocabulary: serving and abort events validate."""
+
+    @pytest.mark.parametrize(
+        "event,fields",
+        [
+            ("run_aborted", {"reason": "signal", "finished": ["tab3"]}),
+            ("server_started", {"port": 9000, "workers": 2}),
+            ("server_stopped", {"sessions": 3, "duration_s": 1.5}),
+            (
+                "server_worker_restarted",
+                {
+                    "worker": 0,
+                    "reason": "worker process died",
+                    "classification": "crash",
+                    "restarts": 1,
+                },
+            ),
+            ("server_degraded", {"reason": "restart budget exceeded"}),
+            (
+                "server_load_report",
+                {
+                    "clients": 2,
+                    "sessions": 4,
+                    "failed": 0,
+                    "latency_ms": {"p50": 1.0, "p95": 2.0, "p99": 3.0},
+                    "sessions_per_second": 1.5,
+                },
+            ),
+            ("session_opened", {"session": "s1", "worker": 0}),
+            (
+                "session_recovered",
+                {"session": "s1", "worker": 0, "replayed": 2},
+            ),
+            ("session_shed", {"session": "s1", "reason": "slow_client"}),
+            (
+                "session_closed",
+                {"session": "s1", "branches": 4338, "windows": 16},
+            ),
+        ],
+    )
+    def test_event_validates(self, event, fields):
+        assert validate_event(_valid(event, **fields)) == []
+
+    def test_missing_field_rejected(self):
+        record = _valid("session_recovered", session="s1", worker=0)
+        assert validate_event(record)  # replayed missing
+
+
 class TestBatteryRoundTrip:
     """Serial and parallel smoke runs write schema-valid journals with
     the same experiment vocabulary (acceptance criterion)."""

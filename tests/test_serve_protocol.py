@@ -1,0 +1,197 @@
+"""Wire-protocol tests: framing, schema validation, EOF handling."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    MESSAGE_TYPES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    read_frame_payload,
+    read_message,
+    validate_message,
+)
+
+
+def _reader_with(data: bytes) -> asyncio.StreamReader:
+    """A StreamReader pre-loaded with ``data`` then at EOF.
+
+    Must be called from inside a running loop (StreamReader binds the
+    current event loop), hence the async helpers below.
+    """
+    reader = asyncio.StreamReader()
+    if data:
+        reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _read_payload(data: bytes):
+    async def scenario():
+        return await read_frame_payload(_reader_with(data))
+
+    return asyncio.run(scenario())
+
+
+def _read_one(data: bytes):
+    async def scenario():
+        return await read_message(_reader_with(data))
+
+    return asyncio.run(scenario())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "credit", "seq": 3, "grant": 1}
+        frame = encode_frame(message)
+        (length,) = struct.unpack("!I", frame[:4])
+        payload = frame[4:]
+        assert len(payload) == length
+        assert payload.endswith(b"\n")  # stripped prefixes form JSONL
+        decoded = decode_payload(payload)
+        assert decoded["type"] == "credit"
+        assert decoded["seq"] == 3
+        assert decoded["v"] == PROTOCOL_VERSION
+
+    def test_read_message_round_trip(self):
+        message = _read_one(encode_frame({"type": "ping"}))
+        assert message["type"] == "ping"
+
+    def test_multiple_frames_stream(self):
+        data = encode_frame({"type": "ping"}) + encode_frame({"type": "end"})
+
+        async def scenario():
+            reader = _reader_with(data)
+            first = await read_message(reader)
+            second = await read_message(reader)
+            third = await read_message(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(scenario())
+        assert first["type"] == "ping"
+        assert second["type"] == "end"
+        assert third is None  # clean EOF at a frame boundary
+
+    def test_clean_eof_returns_none(self):
+        assert _read_payload(b"") is None
+
+    def test_eof_mid_prefix_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="mid-prefix"):
+            _read_payload(b"\x00\x00")
+
+    def test_eof_mid_frame_is_protocol_error(self):
+        frame = encode_frame({"type": "ping"})
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            _read_payload(frame[:-2])
+
+    def test_zero_length_prefix_rejected(self):
+        with pytest.raises(ProtocolError, match="implausible"):
+            _read_payload(struct.pack("!I", 0) + b"x")
+
+    def test_oversized_length_prefix_rejected(self):
+        """A garbage prefix must not become a giant allocation."""
+        prefix = struct.pack("!I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="implausible"):
+            _read_payload(prefix + b"x")
+
+    def test_undecodable_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_payload(b"\x00repro-injected-corruption\x00")
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_payload(b"not json\n")
+
+
+class TestValidation:
+    def _valid(self, kind):
+        samples = {
+            "hello": {
+                "session": "s1",
+                "workload": "compress",
+                "predictor": "gshare",
+                "estimators": [],
+            },
+            "branches": {"seq": 1, "pcs": [1], "taken": [1]},
+            "welcome": {
+                "session": "s1",
+                "credits": 8,
+                "window": 256,
+                "families": [],
+            },
+            "credit": {"seq": 1, "grant": 1},
+            "window": {"start": 0, "branches": 256, "metrics": {}, "gate": {}},
+            "result": {
+                "branches": 1,
+                "mispredictions": 0,
+                "windows": 0,
+                "quadrants": {},
+            },
+            "recovered": {"replayed": 0},
+            "error": {"code": "bad_frame", "error": "x"},
+        }
+        message = {"type": kind, "v": PROTOCOL_VERSION}
+        message.update(samples.get(kind, {}))
+        return message
+
+    @pytest.mark.parametrize("kind", sorted(MESSAGE_TYPES))
+    def test_every_message_type_validates(self, kind):
+        assert validate_message(self._valid(kind))["type"] == kind
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            validate_message([1, 2, 3])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            validate_message({"type": "nope", "v": PROTOCOL_VERSION})
+
+    def test_missing_version_rejected(self):
+        message = self._valid("ping")
+        del message["v"]
+        with pytest.raises(ProtocolError, match="'v' must be"):
+            validate_message(message)
+
+    def test_wrong_version_rejected(self):
+        message = self._valid("ping")
+        message["v"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError):
+            validate_message(message)
+
+    def test_missing_required_field_rejected(self):
+        message = self._valid("branches")
+        del message["pcs"]
+        with pytest.raises(ProtocolError, match="missing required field"):
+            validate_message(message)
+
+    def test_wrong_field_type_rejected(self):
+        message = self._valid("credit")
+        message["seq"] = "one"
+        with pytest.raises(ProtocolError, match="wrong type"):
+            validate_message(message)
+
+    def test_bool_is_not_an_int(self):
+        """JSON true must not satisfy an int field via bool subclassing."""
+        message = self._valid("credit")
+        message["seq"] = True
+        with pytest.raises(ProtocolError, match="wrong type"):
+            validate_message(message)
+
+    def test_extra_fields_are_ignored(self):
+        message = self._valid("ping")
+        message["future_field"] = {"anything": 1}
+        assert validate_message(message)["future_field"] == {"anything": 1}
+
+    def test_encode_frame_validates(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"type": "credit"})  # missing seq/grant
+
+    def test_payload_is_sorted_json(self):
+        """Deterministic encoding: same message, same bytes."""
+        frame = encode_frame({"type": "credit", "seq": 1, "grant": 1})
+        obj = json.loads(frame[4:].decode("utf-8"))
+        assert list(obj) == sorted(obj)
