@@ -66,6 +66,7 @@ from .harness import (
 )
 from .harness.spec import SECTIONS
 from .obs.registry import REGISTRY
+from .pipeline import BACKEND_NAMES, normalize_backend
 from .harness.plot import distance_chart, figure1_chart, sweep_chart
 from .obs import journal as obs_journal
 from .obs.journal import RunJournal
@@ -76,6 +77,20 @@ from .workloads import SUITE, generate_source, get_profile
 #: Environment fallback for ``--segment-instructions`` (CI shard jobs
 #: set it once instead of threading the flag through every command).
 SEGMENT_ENV = "REPRO_SEGMENT_INSTRUCTIONS"
+
+#: Environment fallback for ``--backend`` (CI backend jobs set it once
+#: instead of threading the flag through every command).
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+def _backend_from_env() -> Optional[str]:
+    raw = os.environ.get(BACKEND_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        return normalize_backend(raw)
+    except ValueError as error:
+        raise SystemExit(f"invalid {BACKEND_ENV}={raw!r}: {error}")
 
 
 def _segment_instructions_from_env() -> Optional[int]:
@@ -97,6 +112,7 @@ def _scale_from_args(
 ) -> Scale:
     preset_name = getattr(args, "scale", None)
     segment_flag = getattr(args, "segment_instructions", None)
+    backend_flag = getattr(args, "backend", None)
     if (
         preset_name is None
         and fallback is not None
@@ -104,6 +120,7 @@ def _scale_from_args(
         and args.pipeline_instructions is None
         and args.workloads is None
         and segment_flag is None
+        and backend_flag is None
     ):
         # --resume with no explicit sizing: reuse the prior run's scale
         return fallback
@@ -124,11 +141,14 @@ def _scale_from_args(
         segment_instructions = (
             _segment_instructions_from_env() or preset.segment_instructions
         )
+    # same precedence for the backend dimension
+    backend = backend_flag or _backend_from_env() or preset.backend
     return Scale(
         iterations=iterations,
         pipeline_instructions=pipeline_instructions,
         workloads=workloads,
         segment_instructions=segment_instructions,
+        backend=normalize_backend(backend),
     )
 
 
@@ -166,6 +186,13 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         " N committed instructions (0 disables; default:"
         " $REPRO_SEGMENT_INSTRUCTIONS or the preset's value; see"
         " docs/performance.md)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help="pipeline backend for cycle-level experiments (default:"
+        " $REPRO_BACKEND or inorder; see docs/pipeline-backends.md)",
     )
 
 
@@ -236,17 +263,28 @@ def _resolve_execution(
     return max(1, jobs) if jobs is not None else default_jobs(journal)
 
 
+#: Dependency kinds that run the cycle-level pipeline simulator and
+#: therefore honour the ``--backend`` dimension; everything else is
+#: trace-level and backend-independent.
+_PIPELINE_DEP_KINDS = frozenset({"pipeline", "gating", "eager"})
+
+
 def battery_table_markdown() -> str:
     """The README's battery table, generated from the spec registry."""
     lines = [
-        "| experiment | paper artifact | title | command |",
-        "|---|---|---|---|",
+        "| experiment | paper artifact | title | backends | command |",
+        "|---|---|---|---|---|",
     ]
     for spec in SPECS.in_order():
         paper_ref = spec.paper_ref or "--"
+        backends = (
+            ", ".join(BACKEND_NAMES)
+            if _PIPELINE_DEP_KINDS & set(spec.dep_kinds())
+            else "--"
+        )
         lines.append(
             f"| `{spec.experiment_id}` | {paper_ref} | {spec.title}"
-            f" | `repro run {spec.experiment_id}` |"
+            f" | {backends} | `repro run {spec.experiment_id}` |"
         )
     return "\n".join(lines)
 
@@ -435,8 +473,18 @@ def _command_speculate(args: argparse.Namespace) -> int:
 #: ``--metric`` choices: which bench section carries the gated
 #: branches/s figure.  ``replay`` is trace-measurement throughput
 #: (``simulation``); ``pipeline`` is cycle-level simulator throughput
-#: (``pipeline``, new in repro-bench/3).
+#: (``pipeline``, new in repro-bench/3; carries a ``backend`` field
+#: since repro-bench/4).
 BENCH_METRIC_SECTIONS = {"replay": "simulation", "pipeline": "pipeline"}
+
+
+def _bench_backend(payload: dict) -> str:
+    """Pipeline backend a bench snapshot measured.
+
+    Pre-``repro-bench/4`` snapshots have no ``backend`` field -- they
+    all measured the in-order pipeline, so absent means ``inorder``.
+    """
+    return payload.get("pipeline", {}).get("backend") or "inorder"
 
 
 def _bench_branches_per_second(
@@ -463,6 +511,21 @@ def _bench_compare(args: argparse.Namespace) -> int:
         candidate = json.load(handle)
     metric = args.metric
     section = BENCH_METRIC_SECTIONS[metric]
+    if metric == "pipeline":
+        base_backend = _bench_backend(baseline)
+        cand_backend = _bench_backend(candidate)
+        if base_backend != cand_backend:
+            # Different backends execute different cycle-level work, so
+            # a throughput ratio between them is meaningless -- refuse
+            # outright rather than gating on a bogus number.
+            print(
+                f"FAIL: cannot compare pipeline throughput across"
+                f" backends: baseline measured {base_backend!r}"
+                f" ({baseline_path}), candidate measured"
+                f" {cand_backend!r} ({candidate_path}); re-run bench"
+                f" with matching --backend values"
+            )
+            return 1
     base_bps = _bench_branches_per_second(baseline, metric)
     cand_bps = _bench_branches_per_second(candidate, metric)
     speedup = (
@@ -567,11 +630,12 @@ def _command_bench(args: argparse.Namespace) -> int:
     )
     lookups = stats.hits + stats.misses
     payload = {
-        "schema": "repro-bench/3",
+        "schema": "repro-bench/4",
         "scale": {
             "iterations": scale.iterations,
             "pipeline_instructions": scale.pipeline_instructions,
             "segment_instructions": scale.segment_instructions,
+            "backend": scale.backend,
             "workloads": list(scale.workloads),
         },
         "jobs": jobs,
@@ -601,6 +665,7 @@ def _command_bench(args: argparse.Namespace) -> int:
             ),
         },
         "pipeline": {
+            "backend": scale.backend,
             "branches": int(pipeline_branches),
             "seconds": pipeline_seconds,
             # same null-not-zero discipline as "simulation" above
@@ -926,7 +991,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="replay",
         help="with --compare: which throughput to gate -- trace-replay"
         " branches/s (replay, default) or cycle-level pipeline"
-        " branches/s (pipeline, repro-bench/3 snapshots)",
+        " branches/s (pipeline, repro-bench/3+ snapshots)",
     )
     _add_scale_arguments(bench_parser)
     bench_parser.add_argument(

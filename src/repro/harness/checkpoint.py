@@ -52,6 +52,7 @@ def spec_fingerprint(experiment_id: str, scale: Scale) -> str:
             "iterations": scale.iterations,
             "pipeline_instructions": scale.pipeline_instructions,
             "segment_instructions": scale.segment_instructions,
+            "backend": scale.backend,
         },
     }
     digest = hashlib.sha256(

@@ -62,7 +62,7 @@ from ..engine import (
     workload_run,
 )
 from ..metrics import QuadrantCounts, average_quadrants, figure1_family
-from ..pipeline import PipelineConfig, clear_decoded_cache
+from ..pipeline import DEPTH_HISTOGRAM_KEY, PipelineConfig, clear_decoded_cache
 from ..predictors import make_predictor
 from ..workloads import SUITE
 from . import paper_values
@@ -117,6 +117,12 @@ class Scale:
     #: every boundary, making long runs shardable and resumable
     #: mid-cell; the final results are byte-identical either way.
     segment_instructions: Optional[int] = None
+    #: Pipeline backend every cycle-level cell runs on (``inorder``
+    #: is the paper-validated 5-stage core; ``ooo`` the R10K-style
+    #: out-of-order core).  A spec-level dimension like predictor
+    #: choice: it flows into artifact cache keys, DAG node arguments
+    #: and checkpoint fingerprints.
+    backend: str = "inorder"
 
     def key(self) -> Tuple:
         return (
@@ -124,6 +130,7 @@ class Scale:
             self.pipeline_instructions,
             self.workloads,
             self.segment_instructions,
+            self.backend,
         )
 
 
@@ -251,6 +258,7 @@ def _compute_pipeline_result(
     max_instructions: int,
     with_estimators: bool,
     segment_instructions: Optional[int] = None,
+    backend: str = "inorder",
 ):
     # simulator construction and the (optionally segmented) run both
     # live in repro.harness.shard so segment chains start from state
@@ -265,6 +273,7 @@ def _compute_pipeline_result(
         max_instructions,
         with_estimators,
         segment_instructions,
+        backend,
     )
     record_pipeline_simulation(
         result.stats.fetched_branches, time.perf_counter() - started
@@ -280,10 +289,12 @@ def _pipeline_result(
     max_instructions: int,
     with_estimators: bool = False,
     segment_instructions: Optional[int] = None,
+    backend: str = "inorder",
 ):
     # the segment size is deliberately NOT part of the final artifact's
     # key: segmentation cannot change the result (equivalence-tested),
-    # so whole and segmented runs share one ``pipeline`` artifact
+    # so whole and segmented runs share one ``pipeline`` artifact; the
+    # backend IS part of the key -- it changes every cycle-level number
     return get_cache().cached(
         "pipeline",
         lambda: _compute_pipeline_result(
@@ -293,6 +304,7 @@ def _pipeline_result(
             max_instructions,
             with_estimators,
             segment_instructions,
+            backend,
         ),
         workload=workload,
         predictor=predictor_name,
@@ -301,6 +313,7 @@ def _pipeline_result(
         with_estimators=with_estimators,
         profile=profile_fingerprint(workload),
         config=repr(PipelineConfig()),
+        backend=backend,
     )
 
 
@@ -605,6 +618,7 @@ def experiment_table1(scale: Scale = FULL) -> ExperimentResult:
             scale.iterations,
             scale.pipeline_instructions,
             segment_instructions=scale.segment_instructions,
+            backend=scale.backend,
         )
         # metric_or_none policy: an empty pipeline run renders as n/a,
         # never as a fabricated 0.00 ratio
@@ -915,16 +929,26 @@ def _distance_figure(
     )
     all_curves = []
     committed_curves = []
+    window_depths: Dict[int, int] = {}
     for workload in scale.workloads:
-        records = _pipeline_result(
+        pipe = _pipeline_result(
             workload,
             predictor_name,
             scale.iterations,
             scale.pipeline_instructions,
             segment_instructions=scale.segment_instructions,
-        ).branch_records
+            backend=scale.backend,
+        )
+        records = pipe.branch_records
         all_curves.append(curve_fn(records, population="all"))
         committed_curves.append(curve_fn(records, population="committed"))
+        # backends with a real in-flight window (ooo) record the window
+        # depth seen at every misprediction recovery; aggregate it so
+        # the report can put backend distance distributions side by side
+        for depth, count in pipe.stats.extra.get(
+            DEPTH_HISTOGRAM_KEY, {}
+        ).items():
+            window_depths[depth] = window_depths.get(depth, 0) + count
     merged_all = _merge_curves(all_curves, f"{kind}/all")
     merged_committed = _merge_curves(committed_curves, f"{kind}/committed")
     result = ExperimentResult(
@@ -955,7 +979,65 @@ def _distance_figure(
     result.tables.append(table)
     result.data["all"] = merged_all
     result.data["committed"] = merged_committed
+    # only window-tracking backends populate the depth histogram, so
+    # the in-order report (and its golden bytes) never grows this table
+    if kind == "perceived" and window_depths:
+        result.tables.append(
+            _window_depth_table(window_depths, scale.backend, figure_name)
+        )
+        result.data["window_depth"] = dict(sorted(window_depths.items()))
     return result
+
+
+#: Bucket upper bounds for the window-depth distribution table.
+_DEPTH_BUCKETS = (0, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def _window_depth_table(
+    window_depths: Dict[int, int], backend: str, figure_name: str
+) -> TextTable:
+    """Distribution of in-flight window depth at mispredict recovery.
+
+    The perceived-distance story depends on how much wrong-path work a
+    backend has in flight when a misprediction is detected; this table
+    makes the two backends' distributions directly comparable.
+    """
+    total = sum(window_depths.values())
+    table = TextTable(
+        title=f"{figure_name}: in-flight window depth at misprediction "
+        f"recovery ({backend} backend)",
+        headers=["window depth", "mispredicts", "share"],
+    )
+    lower = 0
+    for upper in _DEPTH_BUCKETS:
+        count = sum(
+            n for depth, n in window_depths.items() if lower <= depth <= upper
+        )
+        tag = str(upper) if upper <= max(lower, 1) else f"{lower}-{upper}"
+        table.add_row([tag, str(count), pct1(count / total if total else 0.0)])
+        lower = upper + 1
+    overflow = sum(
+        n for depth, n in window_depths.items() if depth > _DEPTH_BUCKETS[-1]
+    )
+    if overflow:
+        table.add_row(
+            [
+                f">{_DEPTH_BUCKETS[-1]}",
+                str(overflow),
+                pct1(overflow / total if total else 0.0),
+            ]
+        )
+    mean = (
+        sum(depth * n for depth, n in window_depths.items()) / total
+        if total
+        else 0.0
+    )
+    deepest = max(window_depths) if window_depths else 0
+    table.add_note(
+        f"{total} recoveries; mean depth {mean:.1f}, max {deepest} "
+        f"instructions in flight"
+    )
+    return table
 
 
 def experiment_figure6(scale: Scale = FULL) -> ExperimentResult:

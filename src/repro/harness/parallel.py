@@ -74,7 +74,7 @@ from ..faults import injector as faults
 from ..faults.injector import InjectedCrash
 from ..obs.journal import coalesce
 from ..obs.registry import REGISTRY, MetricsSnapshot
-from ..pipeline import decoded_run, pipeline_fast_enabled
+from ..pipeline import backend_uses_decoded, decoded_run, pipeline_fast_enabled
 from .checkpoint import store_checkpoint
 from .experiments import (
     EXPERIMENTS,
@@ -246,6 +246,7 @@ def plan_artifact_nodes(
         if spec is None:
             continue
         for dep in spec.deps:
+            uses_decoded = backend_uses_decoded(scale.backend)
             for workload in scale.workloads:
                 trace = add("trace", (workload, scale.iterations))
                 if dep.kind == "trace":
@@ -261,10 +262,15 @@ def plan_artifact_nodes(
                 elif dep.kind == "pipeline":
                     # pipeline-backed artifacts read the shared
                     # pre-decoded program (fast path); the worker
-                    # no-ops when the fast path is disabled
-                    decoded = add(
-                        "program-decoded", (workload, scale.iterations)
-                    )
+                    # no-ops when the fast path is disabled, and
+                    # backends without a decoded engine (ooo) skip the
+                    # decode node entirely
+                    base_deps = (trace,)
+                    if uses_decoded:
+                        decoded = add(
+                            "program-decoded", (workload, scale.iterations)
+                        )
+                        base_deps = (trace, decoded)
                     chain = segment_count(
                         scale.pipeline_instructions,
                         scale.segment_instructions,
@@ -274,7 +280,7 @@ def plan_artifact_nodes(
                         # nodes (each resumes the previous snapshot),
                         # then the final run reading the last snapshot;
                         # independent cells parallelise, chains don't
-                        previous = (trace, decoded)
+                        previous = base_deps
                         for index in range(chain):
                             segment = add(
                                 "pipeline-segment",
@@ -285,6 +291,7 @@ def plan_artifact_nodes(
                                     scale.pipeline_instructions,
                                     scale.segment_instructions,
                                     index,
+                                    scale.backend,
                                 ),
                                 deps=previous,
                             )
@@ -297,8 +304,9 @@ def plan_artifact_nodes(
                                 scale.iterations,
                                 scale.pipeline_instructions,
                                 scale.segment_instructions,
+                                scale.backend,
                             ),
-                            deps=(trace, decoded) + previous,
+                            deps=base_deps + previous,
                         )
                     else:
                         add(
@@ -308,8 +316,10 @@ def plan_artifact_nodes(
                                 dep.predictor,
                                 scale.iterations,
                                 scale.pipeline_instructions,
+                                scale.segment_instructions,
+                                scale.backend,
                             ),
-                            deps=(trace, decoded),
+                            deps=base_deps,
                         )
                 elif dep.kind == "measurement":
                     families = families_by_predictor.get(
@@ -328,9 +338,12 @@ def plan_artifact_nodes(
                         deps=(trace, columnar),
                     )
                 elif dep.kind == "gating":
-                    decoded = add(
-                        "program-decoded", (workload, scale.iterations)
-                    )
+                    base_deps = (trace,)
+                    if uses_decoded:
+                        decoded = add(
+                            "program-decoded", (workload, scale.iterations)
+                        )
+                        base_deps = (trace, decoded)
                     add(
                         "gating",
                         (
@@ -339,13 +352,17 @@ def plan_artifact_nodes(
                             dep.threshold,
                             scale.iterations,
                             scale.pipeline_instructions,
+                            scale.backend,
                         ),
-                        deps=(trace, decoded),
+                        deps=base_deps,
                     )
                 elif dep.kind == "eager":
-                    decoded = add(
-                        "program-decoded", (workload, scale.iterations)
-                    )
+                    base_deps = (trace,)
+                    if uses_decoded:
+                        decoded = add(
+                            "program-decoded", (workload, scale.iterations)
+                        )
+                        base_deps = (trace, decoded)
                     add(
                         "eager",
                         (
@@ -353,8 +370,9 @@ def plan_artifact_nodes(
                             dep.estimator,
                             scale.iterations,
                             scale.pipeline_instructions,
+                            scale.backend,
                         ),
-                        deps=(trace, decoded),
+                        deps=base_deps,
                     )
                 elif dep.kind == "inversion":
                     add(
@@ -449,15 +467,21 @@ def _warm_worker(task: WarmTask) -> Tuple[CacheStats, MetricsSnapshot, float]:
         if pipeline_fast_enabled():
             decoded_run(workload, iterations)
     elif kind == "pipeline":
-        # segmented cells carry the segment size as a fifth element
-        workload, predictor, iterations, max_instructions = args[:4]
-        segment_instructions = args[4] if len(args) > 4 else None
+        (
+            workload,
+            predictor,
+            iterations,
+            max_instructions,
+            segment_instructions,
+            backend,
+        ) = args
         _pipeline_result(
             workload,
             predictor,
             iterations,
             max_instructions,
             segment_instructions=segment_instructions,
+            backend=backend,
         )
     elif kind == "pipeline-segment":
         (
@@ -467,6 +491,7 @@ def _warm_worker(task: WarmTask) -> Tuple[CacheStats, MetricsSnapshot, float]:
             max_instructions,
             segment_instructions,
             segment,
+            backend,
         ) = args
         warm_segment(
             workload,
@@ -476,6 +501,7 @@ def _warm_worker(task: WarmTask) -> Tuple[CacheStats, MetricsSnapshot, float]:
             False,
             segment_instructions,
             segment,
+            backend,
         )
     elif kind == "measurement":
         predictor, workload, iterations, families = args

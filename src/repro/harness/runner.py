@@ -85,6 +85,8 @@ def plan_resume(path: Union[str, Path]) -> ResumePlan:
                     workloads=tuple(raw_scale["workloads"]),
                     # absent in pre-segmentation journals: resume as whole runs
                     segment_instructions=raw_scale.get("segment_instructions"),
+                    # absent in pre-backend journals: resume as in-order
+                    backend=raw_scale.get("backend") or "inorder",
                 )
             except (KeyError, TypeError):
                 scale = None
@@ -153,6 +155,7 @@ def run_all(
             "iterations": scale.iterations,
             "pipeline_instructions": scale.pipeline_instructions,
             "segment_instructions": scale.segment_instructions,
+            "backend": scale.backend,
             "workloads": list(scale.workloads),
         },
     )
@@ -393,13 +396,20 @@ def render_report(
     # Note: the scale line deliberately omits segment_instructions --
     # segmentation is an execution strategy, not an input, and a
     # segmented report must stay byte-identical to the whole-run one.
+    # The backend IS an input (it changes every cycle-level number),
+    # but the historical in-order default is omitted so existing golden
+    # reports stay byte-identical.
+    backend_suffix = (
+        f", backend={scale.backend}" if scale.backend != "inorder" else ""
+    )
     lines: List[str] = [
         "# Experiment report",
         "",
         f"generated: {timestamp}",
         f"scale: iterations={scale.iterations or 'profile default'}, "
         f"pipeline_instructions={scale.pipeline_instructions}, "
-        f"workloads={','.join(scale.workloads)}",
+        f"workloads={','.join(scale.workloads)}"
+        f"{backend_suffix}",
         "",
     ]
     positions = {eid: index for index, eid in enumerate(results)}

@@ -38,8 +38,11 @@ from ..pipeline import (
     PipelineResult,
     PipelineSimulator,
     SnapshotError,
+    backend_uses_decoded,
     capture_snapshot,
+    create_simulator,
     decoded_run,
+    normalize_backend,
     pipeline_fast_enabled,
     restore_snapshot,
 )
@@ -90,13 +93,16 @@ def build_cell_simulator(
     predictor_name: str,
     iterations: Optional[int],
     with_estimators: bool,
+    backend: str = "inorder",
 ) -> PipelineSimulator:
     """A fresh pipeline simulator for one (workload, predictor) cell.
 
     This is the single construction point shared by whole-cell runs
     (:func:`repro.harness.experiments._compute_pipeline_result`) and
-    segment chains, so both start from identical state.
+    segment chains, so both start from identical state.  ``backend``
+    picks the simulator class from the pipeline backend registry.
     """
+    backend = normalize_backend(backend)
     program = workload_program(workload, iterations)
     predictor = make_predictor(predictor_name)
     estimators = {}
@@ -106,11 +112,18 @@ def build_cell_simulator(
             "satcnt": SaturatingCountersEstimator.for_predictor(predictor),
         }
     # the fast path reads the shared pre-decoded artifact (warmed by
-    # the DAG scheduler; a cheap decode on a cold cache)
-    decoded = decoded_run(workload, iterations) if pipeline_fast_enabled() else None
-    return PipelineSimulator(
+    # the DAG scheduler; a cheap decode on a cold cache) -- only the
+    # in-order backend has a decoded engine, others fetch per
+    # instruction on the reference path
+    decoded = (
+        decoded_run(workload, iterations)
+        if backend_uses_decoded(backend) and pipeline_fast_enabled()
+        else None
+    )
+    return create_simulator(
         program,
         predictor,
+        backend=backend,
         config=PipelineConfig(),
         estimators=estimators,
         decoded=decoded,
@@ -125,6 +138,7 @@ def segment_parts(
     with_estimators: bool,
     segment_instructions: int,
     segment: int,
+    backend: str = "inorder",
 ) -> dict:
     """Cache-key parts for one ``pipeline-segment`` artifact."""
     return dict(
@@ -138,6 +152,7 @@ def segment_parts(
         schema=SNAPSHOT_SCHEMA,
         profile=profile_fingerprint(workload),
         config=repr(PipelineConfig()),
+        backend=backend,
     )
 
 
@@ -149,6 +164,7 @@ def _simulator_at(
     with_estimators: bool,
     segment_instructions: int,
     upto: int,
+    backend: str = "inorder",
 ) -> PipelineSimulator:
     """The cell's simulator paused at segment boundary ``upto``.
 
@@ -174,6 +190,7 @@ def _simulator_at(
                     with_estimators,
                     segment_instructions,
                     index,
+                    backend,
                 ),
             )
         )
@@ -187,7 +204,7 @@ def _simulator_at(
         break
     if simulator is None:
         simulator = build_cell_simulator(
-            workload, predictor_name, iterations, with_estimators
+            workload, predictor_name, iterations, with_estimators, backend
         )
     for index in range(start, upto + 1):
         simulator.run(
@@ -205,6 +222,7 @@ def _simulator_at(
                     with_estimators,
                     segment_instructions,
                     index,
+                    backend,
                 ),
             ),
             capture_snapshot(simulator),
@@ -220,6 +238,7 @@ def warm_segment(
     with_estimators: bool,
     segment_instructions: int,
     segment: int,
+    backend: str = "inorder",
 ) -> dict:
     """DAG warm task: materialise segments ``0..segment`` of one cell.
 
@@ -235,6 +254,7 @@ def warm_segment(
         with_estimators,
         segment_instructions,
         segment,
+        backend,
     )
     return {
         "segment": segment,
@@ -250,6 +270,7 @@ def run_segmented(
     max_instructions: int,
     with_estimators: bool,
     segment_instructions: Optional[int],
+    backend: str = "inorder",
 ) -> PipelineResult:
     """Run one pipeline cell to completion, segment chain and all.
 
@@ -260,7 +281,7 @@ def run_segmented(
     """
     if not segmentation_active(max_instructions, segment_instructions):
         simulator = build_cell_simulator(
-            workload, predictor_name, iterations, with_estimators
+            workload, predictor_name, iterations, with_estimators, backend
         )
         return simulator.run(max_instructions=max_instructions)
     last = segment_count(max_instructions, segment_instructions) - 1
@@ -272,5 +293,6 @@ def run_segmented(
         with_estimators,
         segment_instructions,
         last,
+        backend,
     )
     return simulator.run(max_instructions=max_instructions)

@@ -44,7 +44,13 @@ from ..confidence import (
 )
 from ..engine import get_cache, profile_fingerprint, workload_program
 from ..obs.registry import REGISTRY
-from ..pipeline import PipelineConfig, decoded_run, pipeline_fast_enabled
+from ..pipeline import (
+    PipelineConfig,
+    backend_uses_decoded,
+    decoded_run,
+    normalize_backend,
+    pipeline_fast_enabled,
+)
 from ..predictors import make_predictor
 from ..speculation import (
     compare_eager_execution,
@@ -108,18 +114,28 @@ class GatingCell:
     recovery_cycles: int
 
     @property
+    def baseline_ipc_or_none(self) -> Optional[float]:
+        """Committed IPC of the ungated run, or ``None`` before any
+        cycle has elapsed -- never a fabricated 0.0."""
+        if not self.baseline_cycles:
+            return None
+        return self.baseline_committed / self.baseline_cycles
+
+    @property
+    def gated_ipc_or_none(self) -> Optional[float]:
+        if not self.gated_cycles:
+            return None
+        return self.gated_committed / self.gated_cycles
+
+    @property
     def baseline_ipc(self) -> float:
-        return (
-            self.baseline_committed / self.baseline_cycles
-            if self.baseline_cycles
-            else 0.0
-        )
+        ipc = self.baseline_ipc_or_none
+        return 0.0 if ipc is None else ipc
 
     @property
     def gated_ipc(self) -> float:
-        return (
-            self.gated_committed / self.gated_cycles if self.gated_cycles else 0.0
-        )
+        ipc = self.gated_ipc_or_none
+        return 0.0 if ipc is None else ipc
 
     @property
     def wrong_path_saved(self) -> int:
@@ -134,10 +150,17 @@ class GatingCell:
 
     @property
     def ipc_delta(self) -> Optional[float]:
-        """Relative IPC change, gated vs. ungated (negative = lost)."""
-        if not self.baseline_ipc:
+        """Relative IPC change, gated vs. ungated (negative = lost).
+
+        Routed through the ``*_or_none`` accessors: a wide-commit
+        backend that finishes the budget in few cycles must never
+        divide by a stale or zero denominator, so any degenerate run
+        renders as n/a instead of a fabricated ratio."""
+        base = self.baseline_ipc_or_none
+        gated = self.gated_ipc_or_none
+        if base is None or gated is None or not base:
             return None
-        return self.gated_ipc / self.baseline_ipc - 1.0
+        return gated / base - 1.0
 
     @property
     def slowdown(self) -> Optional[float]:
@@ -248,10 +271,13 @@ def _compute_gating_cell(
     threshold: int,
     iterations: Optional[int],
     max_instructions: int,
+    backend: str = "inorder",
 ) -> GatingCell:
     config = PipelineConfig()
     decoded = (
-        decoded_run(workload, iterations) if pipeline_fast_enabled() else None
+        decoded_run(workload, iterations)
+        if backend_uses_decoded(backend) and pipeline_fast_enabled()
+        else None
     )
     comparison = compare_gating(
         workload_program(workload, iterations),
@@ -261,6 +287,7 @@ def _compute_gating_cell(
         config=config,
         max_instructions=max_instructions,
         decoded=decoded,
+        backend=backend,
     )
     baseline, gated = comparison.baseline.stats, comparison.gated.stats
     cell = GatingCell(
@@ -292,11 +319,18 @@ def gating_cell(
     threshold: int,
     iterations: Optional[int],
     max_instructions: int,
+    backend: str = "inorder",
 ) -> GatingCell:
+    backend = normalize_backend(backend)
     return get_cache().cached(
         "spec-gating",
         lambda: _compute_gating_cell(
-            workload, estimator_name, threshold, iterations, max_instructions
+            workload,
+            estimator_name,
+            threshold,
+            iterations,
+            max_instructions,
+            backend,
         ),
         workload=workload,
         estimator=estimator_name,
@@ -306,6 +340,7 @@ def gating_cell(
         predictor=SPECULATION_PREDICTOR,
         profile=profile_fingerprint(workload),
         config=repr(PipelineConfig()),
+        backend=backend,
     )
 
 
@@ -314,9 +349,12 @@ def _compute_eager_cell(
     estimator_name: str,
     iterations: Optional[int],
     max_instructions: int,
+    backend: str = "inorder",
 ) -> EagerCell:
     decoded = (
-        decoded_run(workload, iterations) if pipeline_fast_enabled() else None
+        decoded_run(workload, iterations)
+        if backend_uses_decoded(backend) and pipeline_fast_enabled()
+        else None
     )
     comparison = compare_eager_execution(
         workload_program(workload, iterations),
@@ -325,6 +363,7 @@ def _compute_eager_cell(
         config=PipelineConfig(),
         max_instructions=max_instructions,
         decoded=decoded,
+        backend=backend,
     )
     cell = EagerCell(
         workload=workload,
@@ -349,11 +388,13 @@ def eager_cell(
     estimator_name: str,
     iterations: Optional[int],
     max_instructions: int,
+    backend: str = "inorder",
 ) -> EagerCell:
+    backend = normalize_backend(backend)
     return get_cache().cached(
         "spec-eager",
         lambda: _compute_eager_cell(
-            workload, estimator_name, iterations, max_instructions
+            workload, estimator_name, iterations, max_instructions, backend
         ),
         workload=workload,
         estimator=estimator_name,
@@ -362,6 +403,7 @@ def eager_cell(
         predictor=SPECULATION_PREDICTOR,
         profile=profile_fingerprint(workload),
         config=repr(PipelineConfig()),
+        backend=backend,
     )
 
 
@@ -444,6 +486,7 @@ def experiment_speculation_gating(scale: Scale = FULL) -> ExperimentResult:
                     threshold,
                     scale.iterations,
                     scale.pipeline_instructions,
+                    scale.backend,
                 )
                 cells.append(cell)
                 table.add_row(
@@ -495,6 +538,7 @@ def experiment_speculation_eager(scale: Scale = FULL) -> ExperimentResult:
                 estimator_name,
                 scale.iterations,
                 scale.pipeline_instructions,
+                scale.backend,
             )
             cells.append(cell)
             table.add_row(

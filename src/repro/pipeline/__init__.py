@@ -1,5 +1,15 @@
 """Speculative 5-stage pipeline simulator (sim-outorder substitute)."""
 
+from .backends import (
+    BACKEND_NAMES,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    PipelineBackend,
+    backend_uses_decoded,
+    create_simulator,
+    normalize_backend,
+    register_backend,
+)
 from .caches import Cache
 from .config import CacheConfig, PipelineConfig
 from .core import PipelineResult, PipelineSimulator
@@ -11,6 +21,13 @@ from .decode import (
     decoded_run,
     pipeline_fast_enabled,
 )
+from .ooo import (
+    DEPTH_HISTOGRAM_KEY,
+    OOO_COMMIT_WIDTH,
+    OOO_ISSUE_WIDTH,
+    OOO_WINDOW,
+    OutOfOrderSimulator,
+)
 from .records import BranchRecord, BranchRecordStore, PipelineStats
 from .snapshot import (
     SNAPSHOT_SCHEMA,
@@ -21,6 +38,19 @@ from .snapshot import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "DEPTH_HISTOGRAM_KEY",
+    "OOO_COMMIT_WIDTH",
+    "OOO_ISSUE_WIDTH",
+    "OOO_WINDOW",
+    "OutOfOrderSimulator",
+    "PipelineBackend",
+    "backend_uses_decoded",
+    "create_simulator",
+    "normalize_backend",
+    "register_backend",
     "Cache",
     "CacheConfig",
     "PipelineConfig",

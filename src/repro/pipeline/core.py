@@ -45,6 +45,15 @@ Both paths funnel every branch through the same ``_fetch_branch`` /
 ``_resolve_branch`` hooks, so predictor, estimator, record and cache
 state evolve identically -- the byte-identity tests and the CI golden
 report legs compare the two engines end to end.
+
+The front end above (fetch, branch prediction, confidence tagging, the
+gating/eager hooks, the decoded fast path) is shared by every pipeline
+*backend*; the execution model behind it is pluggable through the
+backend hook surface (``_dispatch``, ``_retire_entry``,
+``_recover_from`` and friends -- the :class:`PipelineBackend` protocol
+in :mod:`repro.pipeline.backends`).  This class is itself the
+``inorder`` backend; :class:`repro.pipeline.ooo.OutOfOrderSimulator`
+swaps an R10K-style out-of-order window in behind the same front end.
 """
 
 from __future__ import annotations
@@ -1000,6 +1009,7 @@ class PipelineSimulator:
             self._inflight_count -= 1
             committed += 1
             stats.committed_instructions += 1
+            self._retire_entry(entry)
             if entry.is_halt:
                 self._program_done = True
                 return
@@ -1008,6 +1018,15 @@ class PipelineSimulator:
             self._resolve_branch(entry)
             if entry.mispredicted:
                 return  # redirect consumed the rest of this commit group
+
+    def _retire_entry(self, entry: _Inflight) -> None:
+        """Backend hook: one in-flight entry left the window at commit.
+
+        Called for every individually committed (``count == 1``) entry
+        before halt/branch handling; grouped fast-path drains never see
+        it because only the in-order backend groups entries.  The
+        out-of-order backend frees the retiring instruction's previous
+        physical-register mapping here."""
 
     def _resolve_branch(self, entry: _Inflight) -> None:
         self.stats.committed_branches += 1
@@ -1109,11 +1128,15 @@ class PipelineSimulator:
             self._inflight_count += 1
             if result.taken is not None:
                 self._fetch_branch(entry, result.taken, inst.imm)
+                self._dispatch(entry, inst)
                 if entry.mispredicted:
                     break  # fetch group ends at a front-end redirect
             elif result.halted:
                 entry.is_halt = True
+                self._dispatch(entry, inst)
                 break
+            else:
+                self._dispatch(entry, inst)
 
     def _fetch_stage_fast(self) -> None:
         """Fetch one cycle against the pre-decoded program.
@@ -1297,6 +1320,19 @@ class PipelineSimulator:
         """Hook: instructions fetchable this cycle (default: config
         width; the dual-path simulator halves it while a fork is live)."""
         return self.config.fetch_width
+
+    def _dispatch(self, entry: _Inflight, inst) -> None:
+        """Backend hook: one instruction entered the window at fetch.
+
+        Called on the reference fetch path for every fetched
+        instruction, after branch prediction/recording has populated
+        ``entry`` (so a backend may re-time ``entry.ready_cycle``).
+        The in-order backend does nothing -- an instruction's ready
+        cycle is fixed at fetch -- which is what lets its fast path
+        group entries and skip this hook entirely.  The out-of-order
+        backend renames ``inst``'s registers, models issue-queue
+        wakeup/bandwidth, and rewrites ``entry.ready_cycle`` to the
+        data-dependent completion cycle here."""
 
     def _fetch_branch(self, entry: _Inflight, taken: bool, target: int) -> None:
         """Predict, assess and record one fetched conditional branch.

@@ -2,11 +2,13 @@
 
 from .dualpath import (
     EagerComparison,
+    EagerOutOfOrderSimulator,
     EagerPipelineSimulator,
     compare_eager_execution,
 )
 from .eager import EagerOutcome, evaluate_eager_execution
 from .gating import (
+    GatedOutOfOrderSimulator,
     GatedPipelineSimulator,
     GatingComparison,
     compare_gating,
@@ -17,10 +19,12 @@ from .smt import POLICIES, SMTResult, SMTSimulator, compare_policies
 
 __all__ = [
     "EagerComparison",
+    "EagerOutOfOrderSimulator",
     "EagerPipelineSimulator",
     "compare_eager_execution",
     "EagerOutcome",
     "evaluate_eager_execution",
+    "GatedOutOfOrderSimulator",
     "GatedPipelineSimulator",
     "GatingComparison",
     "compare_gating",

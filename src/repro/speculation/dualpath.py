@@ -34,9 +34,11 @@ from typing import Callable, Mapping, Optional
 
 from ..confidence.base import ConfidenceEstimator
 from ..isa import Program
+from ..pipeline.backends import create_simulator, normalize_backend
 from ..pipeline.config import PipelineConfig
 from ..pipeline.core import PipelineResult, PipelineSimulator
 from ..pipeline.decode import DecodedProgram
+from ..pipeline.ooo import OutOfOrderSimulator
 from ..predictors.base import BranchPredictor
 
 
@@ -185,6 +187,22 @@ class EagerPipelineSimulator(PipelineSimulator):
             self._active_fork = None
 
 
+class EagerOutOfOrderSimulator(EagerPipelineSimulator, OutOfOrderSimulator):
+    """Selective dual-path front end over the out-of-order backend.
+
+    The eager overrides (fetch width/steering/resolution) and the OoO
+    backend hooks (``_dispatch``/``_retire_entry``/``_recover_from``)
+    are disjoint, so cooperative inheritance composes them.
+    """
+
+
+#: Eager simulator class per pipeline backend name.
+EAGER_SIMULATORS = {
+    "inorder": EagerPipelineSimulator,
+    "ooo": EagerOutOfOrderSimulator,
+}
+
+
 @dataclass(frozen=True)
 class EagerComparison:
     """Single-path baseline vs dual-path run of the same workload."""
@@ -222,22 +240,26 @@ def compare_eager_execution(
     max_instructions: Optional[int] = None,
     fork_switch_penalty: int = 1,
     decoded: Optional[DecodedProgram] = None,
+    backend: Optional[str] = None,
 ) -> EagerComparison:
     """Run the same workload single-path and dual-path and compare.
 
     ``decoded`` optionally shares one pre-decoded program between runs.
+    ``backend`` selects the pipeline backend for both runs.
     """
+    backend = normalize_backend(backend)
     baseline_predictor = predictor_factory()
-    baseline = PipelineSimulator(
+    baseline = create_simulator(
         program,
         baseline_predictor,
+        backend=backend,
         config=config,
         estimators={"fork": estimator_factory(baseline_predictor)},
         decoded=decoded,
     ).run(max_instructions=max_instructions)
 
     eager_predictor = predictor_factory()
-    eager_simulator = EagerPipelineSimulator(
+    eager_simulator = EAGER_SIMULATORS[backend](
         program,
         eager_predictor,
         config=config,

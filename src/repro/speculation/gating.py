@@ -21,9 +21,11 @@ from typing import Callable, Mapping, Optional
 
 from ..confidence.base import ConfidenceEstimator
 from ..isa import Program
+from ..pipeline.backends import create_simulator, normalize_backend
 from ..pipeline.config import PipelineConfig
 from ..pipeline.core import PipelineResult, PipelineSimulator
 from ..pipeline.decode import DecodedProgram
+from ..pipeline.ooo import OutOfOrderSimulator
 from ..predictors.base import BranchPredictor
 
 
@@ -93,6 +95,22 @@ class GatedPipelineSimulator(PipelineSimulator):
         super()._fetch_stage()
 
 
+class GatedOutOfOrderSimulator(GatedPipelineSimulator, OutOfOrderSimulator):
+    """Gated front end over the out-of-order backend.
+
+    The gating override (``_fetch_stage``) and the OoO backend hooks
+    (``_dispatch``/``_retire_entry``/``_recover_from``) are disjoint,
+    so plain cooperative inheritance composes them.
+    """
+
+
+#: Gated simulator class per pipeline backend name.
+GATED_SIMULATORS = {
+    "inorder": GatedPipelineSimulator,
+    "ooo": GatedOutOfOrderSimulator,
+}
+
+
 @dataclass(frozen=True)
 class GatingComparison:
     """Gated vs. ungated run of the same program/predictor/estimator."""
@@ -141,24 +159,28 @@ def compare_gating(
     config: Optional[PipelineConfig] = None,
     max_instructions: Optional[int] = None,
     decoded: Optional[DecodedProgram] = None,
+    backend: Optional[str] = None,
 ) -> GatingComparison:
     """Run the same workload gated and ungated and compare.
 
     Factories are used (rather than instances) because the two runs
     need independent predictor/estimator state.  ``decoded`` optionally
-    shares one pre-decoded program between both runs.
+    shares one pre-decoded program between both runs.  ``backend``
+    selects the pipeline backend for *both* runs (default in-order).
     """
+    backend = normalize_backend(backend)
     baseline_predictor = predictor_factory()
-    baseline = PipelineSimulator(
+    baseline = create_simulator(
         program,
         baseline_predictor,
+        backend=backend,
         config=config,
         estimators={"gate": estimator_factory(baseline_predictor)},
         decoded=decoded,
     ).run(max_instructions=max_instructions)
 
     gated_predictor = predictor_factory()
-    gated_simulator = GatedPipelineSimulator(
+    gated_simulator = GATED_SIMULATORS[backend](
         program,
         gated_predictor,
         config=config,

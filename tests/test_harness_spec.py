@@ -208,7 +208,7 @@ class TestWarmPlanLegacyEquivalence:
         instrs = SMOKE.pipeline_instructions
         # figures 6-9 warmed pipeline runs for gshare and mcfarling
         assert kinds["pipeline"] == {
-            (workload, predictor, iters, instrs)
+            (workload, predictor, iters, instrs, None, "inorder")
             for workload in SMOKE.workloads
             for predictor in ("gshare", "mcfarling")
         }
@@ -221,13 +221,13 @@ class TestWarmPlanLegacyEquivalence:
             for workload in SMOKE.workloads
         }
         assert kinds["gating"] == {
-            (workload, estimator, threshold, iters, instrs)
+            (workload, estimator, threshold, iters, instrs, "inorder")
             for workload in SMOKE.workloads
             for estimator in SPECULATION_ESTIMATORS
             for threshold in GATE_THRESHOLDS
         }
         assert kinds["eager"] == {
-            (workload, estimator, iters, instrs)
+            (workload, estimator, iters, instrs, "inorder")
             for workload in SMOKE.workloads
             for estimator in SPECULATION_ESTIMATORS
         }
@@ -351,9 +351,10 @@ class TestBenchCli:
         assert exit_code == 0
         assert str(out) in capsys.readouterr().out
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro-bench/3"
+        assert payload["schema"] == "repro-bench/4"
         assert payload["jobs"] == 1
         assert payload["scale"]["workloads"] == list(SMOKE.workloads)
+        assert payload["scale"]["backend"] == "inorder"
         assert [e["id"] for e in payload["experiments"]] == [
             "tab1",
             "tab2",
@@ -372,7 +373,8 @@ class TestBenchCli:
         assert payload["trace_generation"]["branches"] > 0
         assert payload["trace_generation"]["seconds"] > 0
         # tab1's fetch-to-commit column runs the cycle-level pipeline,
-        # so the repro-bench/3 pipeline section is populated on a cold run
+        # so the repro-bench/3+ pipeline section is populated on a cold run
+        assert payload["pipeline"]["backend"] == "inorder"
         assert payload["pipeline"]["branches"] > 0
         assert payload["pipeline"]["branches_per_second"] > 0
         assert 0.0 <= payload["cache"]["hit_rate"] <= 1.0
